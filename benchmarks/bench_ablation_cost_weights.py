@@ -1,0 +1,66 @@
+"""Ablation — sensitivity of the Figure 2 result to the Re:Rt ratio.
+
+The paper fixes Re=0.1 ¢/J and Rt=0.4 ¢/s for the batch experiments.
+This ablation sweeps the pricing ratio across four orders of magnitude
+and prints how WBG's win over OLB and Power Saving moves: when time is
+nearly free, WBG converges to all-minimum-frequency (beats OLB hugely
+on energy); when energy is nearly free, WBG converges to all-maximum
+(ties OLB). The crossover structure is the design insight behind the
+dominating ranges.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.metrics import improvement_summary
+from repro.analysis.reporting import format_table
+from repro.models.rates import TABLE_II
+from repro.schedulers import olb_plan, power_saving_plan, wbg_plan
+from repro.simulator import run_batch
+from repro.workloads import spec_tasks
+
+RATIOS = [(0.4, 0.04), (0.1, 0.1), (0.1, 0.4), (0.02, 0.4), (0.004, 0.4)]
+
+
+def _sweep(tasks):
+    rows = []
+    for re, rt in RATIOS:
+        costs = {
+            "WBG": run_batch(wbg_plan(tasks, TABLE_II, 4, re, rt), TABLE_II).cost(re, rt),
+            "OLB": run_batch(olb_plan(tasks, TABLE_II, 4), TABLE_II).cost(re, rt),
+            "PS": run_batch(power_saving_plan(tasks, TABLE_II, 4), TABLE_II).cost(re, rt),
+        }
+        vs_olb = improvement_summary(costs, "WBG", "OLB")["total_pct"]
+        vs_ps = improvement_summary(costs, "WBG", "PS")["total_pct"]
+        rows.append((f"{re:g}:{rt:g}", f"{vs_olb:+.1f}%", f"{vs_ps:+.1f}%"))
+    return rows
+
+
+def test_cost_weight_sweep(benchmark, spec_batch):
+    rows = benchmark.pedantic(_sweep, args=(spec_batch,), rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["Re:Rt", "WBG vs OLB (total)", "WBG vs PS (total)"],
+            rows,
+            title="Sensitivity of the Fig. 2 margins to the pricing ratio",
+        )
+    )
+    # WBG never loses (it provably minimises the objective), and its win
+    # over OLB grows as energy gets relatively more expensive.
+    olb_margins = [float(r[1].rstrip("%")) for r in rows]
+    assert all(m <= 1e-6 for m in olb_margins)
+    assert olb_margins[0] >= olb_margins[-1] - 1e-9 or min(olb_margins) < -10.0
+
+
+def test_extreme_time_pricing_converges_to_max_rate(benchmark, spec_batch):
+    """Rt ≫ Re: the optimal plan runs everything at the top frequency."""
+    plan = benchmark(wbg_plan, spec_batch, TABLE_II, 4, 1e-6, 10.0)
+    rates = {pl.rate for s in plan for pl in s}
+    assert rates == {TABLE_II.max_rate}
+
+
+def test_extreme_energy_pricing_converges_to_min_rate(benchmark, spec_batch):
+    """Re ≫ Rt: the optimal plan runs everything at the bottom frequency."""
+    plan = benchmark(wbg_plan, spec_batch, TABLE_II, 4, 10.0, 1e-6)
+    rates = {pl.rate for s in plan for pl in s}
+    assert rates == {TABLE_II.min_rate}

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The energy/performance trade-off as a Pareto frontier.
+
+Extension beyond the paper's experiments (its related work, Pruhs et
+al., studies this dual form): instead of pricing energy and time and
+minimising money, fix an **energy budget** and ask for the fastest
+schedule that fits. The paper's weighted-sum optimum is the Lagrangian
+of that problem, so sweeping the multiplier traces the whole frontier —
+each point an *optimal* schedule (Theorem 3 + Lemma 1).
+
+Run:  python examples/energy_frontier.py
+"""
+
+from repro import TABLE_II, spec_tasks
+from repro.analysis.reporting import format_table
+from repro.core.budget import (
+    min_energy,
+    pareto_frontier,
+    schedule_with_energy_budget,
+)
+
+def main() -> None:
+    tasks = list(spec_tasks("train"))  # the 12 train-input SPEC runs
+    floor = min_energy(tasks, TABLE_II)
+    print(f"workload: {len(tasks)} tasks; energy floor (all at 1.6 GHz): {floor:.0f} J\n")
+
+    # the full frontier
+    frontier = pareto_frontier(tasks, TABLE_II, points=40)
+    bars = []
+    max_flow = max(f for _, f in frontier)
+    for e, f in frontier:
+        bars.append((f"{e:.0f}", f"{f:.0f}", "#" * int(40 * f / max_flow)))
+    print(format_table(
+        ["Energy (J)", "Σ flow time (s)", ""],
+        bars,
+        title="Pareto frontier: every row is an optimal schedule",
+    ))
+
+    # budgeted queries
+    print("\nfastest schedule within an energy budget:")
+    rows = []
+    for mult in (1.0, 1.1, 1.3, 1.6, 2.0, 2.11):
+        budget = floor * mult
+        sol = schedule_with_energy_budget(tasks, TABLE_II, budget)
+        assert sol is not None
+        mix = {}
+        for pl in sol.schedule:
+            mix[pl.rate] = mix.get(pl.rate, 0) + 1
+        mix_s = " ".join(f"{r:g}GHz×{n}" for r, n in sorted(mix.items()))
+        rows.append((f"{budget:.0f}", f"{sol.energy:.0f}", f"{sol.flow_time:.0f}", mix_s))
+    print(format_table(["Budget (J)", "Used (J)", "Σ flow (s)", "Rate mix"], rows))
+
+    print("\ntightening the budget pushes the big tasks down the frequency")
+    print("menu first — exactly the dominating-position-range structure.")
+
+
+if __name__ == "__main__":
+    main()

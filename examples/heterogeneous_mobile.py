@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Heterogeneous (big.LITTLE-style) scheduling with Workload Based Greedy.
+
+Section III-C's heterogeneous case: cores with *different* energy/time
+functions. This example builds a mobile-flavoured platform — two "big"
+cores (fast, power-hungry) and two "LITTLE" cores (slow, efficient,
+modelled on the ARM Exynos-4412 the paper names) — and shows how
+Algorithm 3 splits a mixed workload across them, versus two naive
+alternatives.
+
+Run:  python examples/heterogeneous_mobile.py
+"""
+
+from repro import CostModel, EXYNOS_4412, I7_950, WorkloadBasedGreedy
+from repro.analysis.reporting import format_table
+from repro.models.task import Task
+from repro.schedulers import round_robin_plan
+from repro.simulator import run_batch
+from repro.workloads.synthetic import bimodal_batch
+
+RE, RT = 0.3, 0.2
+
+BIG = I7_950  # 1.6-3.06 GHz, cubic power
+LITTLE = EXYNOS_4412  # 0.2-1.7 GHz, far lower energy per cycle
+
+
+def main() -> None:
+    tasks = list(bimodal_batch(16, small=8.0, large=240.0, large_fraction=0.35, seed=3))
+    models = [
+        CostModel(BIG, RE, RT),
+        CostModel(BIG, RE, RT),
+        CostModel(LITTLE, RE, RT),
+        CostModel(LITTLE, RE, RT),
+    ]
+    core_names = ["big0", "big1", "little0", "little1"]
+
+    wbg = WorkloadBasedGreedy(models)
+    plan = wbg.schedule(tasks)
+
+    rows = []
+    for sched in plan:
+        for slot, pl in enumerate(sched.placements, start=1):
+            rows.append(
+                (core_names[sched.core_index], slot, pl.task.name,
+                 f"{pl.task.cycles:.0f}", f"{pl.rate:g} GHz")
+            )
+    rows.sort()
+    print(format_table(
+        ["Core", "Slot", "Task", "Gcycles", "Rate"],
+        rows,
+        title="Workload Based Greedy on a big.LITTLE platform",
+    ))
+
+    cost = wbg.schedule_cost(plan)
+    print(f"\nWBG: total {cost.total_cost:.1f}¢ "
+          f"(energy {cost.energy_joules:.0f} J, makespan {cost.makespan:.1f} s)")
+
+    # naive alternative 1: everything on the big cores at max speed
+    big_only = WorkloadBasedGreedy(models[:2])
+    big_cost = big_only.schedule_cost(big_only.schedule(tasks))
+    print(f"big cores only: total {big_cost.total_cost:.1f}¢ "
+          f"(energy {big_cost.energy_joules:.0f} J)")
+
+    # naive alternative 2: blind round robin across all four at each max
+    per_core = [round_robin_plan(tasks, BIG, 4)[j] for j in range(4)]
+    # price each lane with its own core's model (lanes 2,3 exceed LITTLE's
+    # menu at BIG's max rate, so rebuild them at LITTLE's top speed)
+    from repro.models.cost import CoreSchedule, Placement
+
+    lanes = []
+    for j, lane in enumerate(per_core):
+        table = BIG if j < 2 else LITTLE
+        lanes.append(CoreSchedule(
+            (Placement(pl.task, table.max_rate) for pl in lane.placements),
+            core_index=j,
+        ))
+    rr_cost = wbg.schedule_cost(lanes)
+    print(f"round robin @max: total {rr_cost.total_cost:.1f}¢ "
+          f"(energy {rr_cost.energy_joules:.0f} J)")
+
+    assert cost.total_cost <= big_cost.total_cost + 1e-9
+    assert cost.total_cost <= rr_cost.total_cost + 1e-9
+    print("\nWBG exploits heterogeneity: heavy jobs sink to the efficient")
+    print("LITTLE cores' cheap tail slots; latency-critical small jobs get")
+    print("the big cores' fast front slots.")
+
+    # cross-check with the event-driven simulator
+    measured = run_batch(plan, [BIG, BIG, LITTLE, LITTLE]).cost(RE, RT)
+    assert abs(measured.total_cost - cost.total_cost) < 1e-6 * cost.total_cost
+    print(f"simulator check: measured {measured.total_cost:.1f}¢ == predicted")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Scheduling from profiled estimates, the way a real judge would.
+
+The paper's online model assumes task cycle counts are known because
+"it can be estimated by profiling", and Section V-B describes the
+deployment: predict each new submission's cost from the average of
+previously completed ones. This example runs the same trace three ways:
+
+* oracle — the paper's baseline assumption (perfect knowledge);
+* running mean — the paper's own predictor, cold-started;
+* noisy profiles — oracle corrupted by log-normal error of growing σ.
+
+and shows LMC degrading gracefully as knowledge gets worse.
+
+Run:  python examples/profiled_estimation.py
+"""
+
+from repro import (
+    JudgeTraceConfig,
+    LMCOnlineScheduler,
+    TABLE_II,
+    TaskKind,
+    generate_judge_trace,
+    run_online,
+)
+from repro.analysis.reporting import format_table
+from repro.workloads import MeanEstimator, NoisyOracle
+
+RE, RT = 0.4, 0.1
+CORES = 4
+
+
+def run_with(trace, estimator, label):
+    lmc = LMCOnlineScheduler(TABLE_II, CORES, RE, RT, estimator=estimator)
+    res = run_online(trace, lmc, TABLE_II)
+    cost = res.cost(RE, RT)
+    return (
+        label,
+        cost.total_cost,
+        cost.energy_cost,
+        cost.temporal_cost,
+        res.mean_turnaround(TaskKind.NONINTERACTIVE),
+    )
+
+
+def main() -> None:
+    cfg = JudgeTraceConfig(
+        n_interactive=6000, n_noninteractive=300, duration_s=600.0, seed=29
+    )
+    trace = generate_judge_trace(cfg)
+    print(f"trace: {len(trace)} tasks over {cfg.duration_s:.0f}s on {CORES} cores\n")
+
+    runs = [run_with(trace, None, "oracle (paper assumption)")]
+    for sigma in (0.2, 0.5, 1.0):
+        runs.append(run_with(trace, NoisyOracle(sigma, seed=7), f"noisy profile σ={sigma:g}"))
+    mean_est = MeanEstimator(default=10.0)
+    runs.append(run_with(trace, mean_est, "running mean (Section V-B)"))
+
+    oracle_total = runs[0][1]
+    rows = [
+        (label, f"{total:.0f}", f"{100 * (total / oracle_total - 1):+.1f}%",
+         f"{energy:.0f}", f"{time:.0f}", f"{turnaround:.1f}s")
+        for label, total, energy, time, turnaround in runs
+    ]
+    print(format_table(
+        ["Estimator", "Total cost", "vs oracle", "Energy cost",
+         "Time cost", "Mean judging turnaround"],
+        rows,
+    ))
+
+    learned = [mean_est.mean_for(f"p{k}") for k in range(1, 6)]
+    print("\nwhat the running mean learned per problem (Gcycles):",
+          " ".join(f"p{k}={v:.1f}" for k, v in enumerate(learned, start=1)))
+    print("\nmis-estimation perturbs queue order and frequency choices, but")
+    print("the positional structure keeps the cost within a few percent of")
+    print("the oracle until the error gets severe.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a batch of jobs energy-efficiently.
+
+Builds a small batch, computes the cost-optimal plan with Workload
+Based Greedy (the paper's Algorithm 3), executes it on the simulated
+quad-core platform, and compares against running everything at full
+speed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CostModel, TABLE_II, Task, olb_plan, run_batch, wbg_plan
+from repro.analysis.reporting import format_table
+
+# the pricing: 0.1 cents per joule, 0.4 cents per second of waiting
+RE, RT = 0.1, 0.4
+
+# six jobs with very different sizes (cycle counts in Gcycles)
+jobs = [
+    Task(cycles=350.0, name="video-encode"),
+    Task(cycles=40.0, name="thumbnailer"),
+    Task(cycles=900.0, name="ml-training"),
+    Task(cycles=15.0, name="log-rotate"),
+    Task(cycles=120.0, name="db-compaction"),
+    Task(cycles=60.0, name="report-gen"),
+]
+
+
+def show_plan(plan) -> None:
+    rows = []
+    for core_schedule in plan:
+        for slot, placement in enumerate(core_schedule.placements, start=1):
+            rows.append(
+                (
+                    core_schedule.core_index,
+                    slot,
+                    placement.task.name,
+                    placement.task.cycles,
+                    f"{placement.rate:g} GHz",
+                )
+            )
+    rows.sort()
+    print(format_table(["Core", "Slot", "Job", "Gcycles", "Rate"], rows))
+
+
+def main() -> None:
+    model = CostModel(TABLE_II, RE, RT)
+
+    print("=== Workload Based Greedy (optimal) ===")
+    plan = wbg_plan(jobs, TABLE_II, n_cores=4, re=RE, rt=RT)
+    show_plan(plan)
+    wbg_cost = run_batch(plan, TABLE_II).cost(RE, RT)
+    print(
+        f"cost: {wbg_cost.total_cost:.1f}¢ "
+        f"(energy {wbg_cost.energy_cost:.1f}¢ + waiting {wbg_cost.temporal_cost:.1f}¢), "
+        f"energy {wbg_cost.energy_joules:.0f} J, makespan {wbg_cost.makespan:.1f} s"
+    )
+
+    print("\n=== Everything at maximum frequency (OLB) ===")
+    fast_plan = olb_plan(jobs, TABLE_II, n_cores=4)
+    fast_cost = run_batch(fast_plan, TABLE_II).cost(RE, RT)
+    print(
+        f"cost: {fast_cost.total_cost:.1f}¢ "
+        f"(energy {fast_cost.energy_cost:.1f}¢ + waiting {fast_cost.temporal_cost:.1f}¢), "
+        f"energy {fast_cost.energy_joules:.0f} J, makespan {fast_cost.makespan:.1f} s"
+    )
+
+    saving = 100 * (1 - wbg_cost.total_cost / fast_cost.total_cost)
+    print(f"\nWBG saves {saving:.1f}% total cost — note how it runs the small")
+    print("jobs first at high frequency (they delay everyone behind them)")
+    print("and the huge ml-training job last at 1.6 GHz (it delays nobody).")
+
+    # sanity: the planner's prediction matches the simulated execution
+    predicted = model.schedule_cost(plan).total_cost
+    assert abs(predicted - wbg_cost.total_cost) < 1e-6 * predicted
+    print(f"\nmodel check: predicted {predicted:.1f}¢ == measured {wbg_cost.total_cost:.1f}¢")
+
+
+if __name__ == "__main__":
+    main()

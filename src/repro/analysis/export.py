@@ -1,0 +1,150 @@
+"""Machine-readable export of experiment results.
+
+The text reports in :mod:`repro.analysis.reporting` are for terminals;
+downstream plotting and regression tracking want structured data. This
+module serialises every result object the harness produces to plain
+JSON-compatible dictionaries, plus a one-call exporter for the three
+headline experiments (used by ``python -m repro ... --json``).
+
+Schema stability: every payload carries ``schema`` and ``repro_version``
+keys; add fields freely, never repurpose existing ones.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.analysis.metrics import NormalizedCost
+from repro.analysis.verification import VerificationReport
+from repro.models.cost import ScheduleCost
+from repro.simulator.batch_runner import BatchResult
+from repro.simulator.online_runner import OnlineResult
+
+_SCHEMA_VERSION = 1
+
+
+def _envelope(kind: str, body: dict) -> dict:
+    from repro import __version__
+
+    return {"schema": _SCHEMA_VERSION, "repro_version": __version__,
+            "kind": kind, **body}
+
+
+def schedule_cost_dict(cost: ScheduleCost) -> dict:
+    return {
+        "energy_cost": cost.energy_cost,
+        "temporal_cost": cost.temporal_cost,
+        "total_cost": cost.total_cost,
+        "energy_joules": cost.energy_joules,
+        "busy_seconds": cost.busy_seconds,
+        "makespan": cost.makespan,
+        "turnaround_sum": cost.turnaround_sum,
+        "task_count": cost.task_count,
+    }
+
+
+def normalized_cost_dict(norm: NormalizedCost) -> dict:
+    return {"label": norm.label, "time": norm.time, "energy": norm.energy,
+            "total": norm.total}
+
+
+def batch_result_dict(result: BatchResult, include_records: bool = True) -> dict:
+    body: dict[str, Any] = {
+        "makespan": result.makespan,
+        "energy_joules": result.energy_joules,
+        "turnaround_sum": result.turnaround_sum,
+        "task_count": len(result.records),
+    }
+    if include_records:
+        body["records"] = [
+            {
+                "task_id": r.task.task_id,
+                "name": r.task.name,
+                "core": r.core,
+                "rate": r.rate,
+                "start": r.start,
+                "finish": r.finish,
+                "energy_joules": r.energy_joules,
+            }
+            for r in result.records
+        ]
+    return _envelope("batch_result", body)
+
+
+def online_result_dict(result: OnlineResult, include_records: bool = False) -> dict:
+    body: dict[str, Any] = {
+        "horizon": result.horizon,
+        "energy_joules": result.energy_joules,
+        "events": result.events,
+        "task_count": len(result.records),
+    }
+    if include_records:
+        body["records"] = [
+            {
+                "task_id": r.task.task_id,
+                "name": r.task.name,
+                "kind": r.task.kind.value,
+                "core": r.core,
+                "arrival": r.task.arrival,
+                "first_start": r.first_start,
+                "finish": r.finish,
+                "energy_joules": r.energy_joules,
+                "preemptions": r.preemptions,
+            }
+            for r in result.records
+        ]
+    return _envelope("online_result", body)
+
+
+def comparison_dict(
+    costs: Mapping[str, ScheduleCost], reference: str, title: str = ""
+) -> dict:
+    from repro.analysis.metrics import normalize_costs
+
+    norm = normalize_costs(costs, reference)
+    return _envelope(
+        "comparison",
+        {
+            "title": title,
+            "reference": reference,
+            "schedulers": {
+                label: {
+                    "raw": schedule_cost_dict(costs[label]),
+                    "normalized": normalized_cost_dict(norm[label]),
+                }
+                for label in costs
+            },
+        },
+    )
+
+
+def verification_dict(report: VerificationReport) -> dict:
+    return _envelope(
+        "verification",
+        {
+            "sim": schedule_cost_dict(report.sim),
+            "exp": schedule_cost_dict(report.exp),
+            "time_gap": report.time_gap,
+            "energy_gap": report.energy_gap,
+            "total_gap": report.total_gap,
+        },
+    )
+
+
+def write_json(payload: dict, path: str | Path) -> None:
+    """Write a payload with stable key order (diff-friendly)."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def read_json(path: str | Path) -> dict:
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "schema" not in payload:
+        raise ValueError(f"{path} is not a repro result export")
+    if payload["schema"] > _SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} uses schema {payload['schema']}, newer than supported "
+            f"{_SCHEMA_VERSION}"
+        )
+    return payload

@@ -1,0 +1,113 @@
+"""ASCII Gantt rendering of batch plans and executed runs.
+
+Terminal-friendly visualisation: one row per core, one character per
+time bucket, letters identifying tasks and case/shade marking the rate
+band. Used by the examples and handy when debugging a plan:
+
+::
+
+    core 0 |aaaaBBBBBBBBcccccccccccc............|
+    core 1 |ddEEEEEEffffffffffff................|
+            0s                              3038s
+
+Rates are bucketed into bands: the highest-rate third renders as
+UPPERCASE, the middle third as lowercase, the lowest as lowercase too
+but flagged in the legend (exact rates are printed per task).
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Sequence
+
+from repro.models.cost import CoreSchedule
+from repro.models.rates import RateTable
+from repro.simulator.batch_runner import BatchResult
+
+_LETTERS = string.ascii_letters + string.digits
+
+
+def _label(i: int) -> str:
+    return _LETTERS[i % len(_LETTERS)]
+
+
+def render_plan_gantt(
+    schedules: Sequence[CoreSchedule],
+    table: RateTable,
+    width: int = 72,
+) -> str:
+    """Gantt chart of a batch plan (predicted timing, per Equation 2)."""
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+    # predicted segments per core
+    lanes: list[list[tuple[float, float, str, float]]] = []
+    labels: dict[int, str] = {}
+    next_label = 0
+    makespan = 0.0
+    for sched in sorted(schedules, key=lambda s: s.core_index):
+        clock = 0.0
+        lane = []
+        for pl in sched:
+            dur = pl.task.cycles * table.time(pl.rate)
+            if pl.task.task_id not in labels:
+                labels[pl.task.task_id] = _label(next_label)
+                next_label += 1
+            lane.append((clock, clock + dur, labels[pl.task.task_id], pl.rate))
+            clock += dur
+        lanes.append(lane)
+        makespan = max(makespan, clock)
+    return _render(lanes, [s.core_index for s in sorted(schedules, key=lambda s: s.core_index)],
+                   makespan, table, width, labels_by_task=labels,
+                   schedules=schedules)
+
+
+def render_run_gantt(result: BatchResult, table: RateTable, width: int = 72) -> str:
+    """Gantt chart of an *executed* batch run (measured timing)."""
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+    by_core: dict[int, list] = {}
+    labels: dict[int, str] = {}
+    next_label = 0
+    for rec in sorted(result.records, key=lambda r: (r.core, r.start)):
+        if rec.task.task_id not in labels:
+            labels[rec.task.task_id] = _label(next_label)
+            next_label += 1
+        by_core.setdefault(rec.core, []).append(
+            (rec.start, rec.finish, labels[rec.task.task_id], rec.rate)
+        )
+    cores = sorted(by_core)
+    lanes = [by_core[c] for c in cores]
+    return _render(lanes, cores, result.makespan, table, width, labels_by_task=labels)
+
+
+def _render(lanes, core_ids, makespan, table, width, labels_by_task, schedules=None) -> str:
+    if makespan <= 0:
+        return "(empty schedule)"
+    high_cut = table.rates[(2 * len(table.rates)) // 3] if len(table) > 1 else table.rates[0]
+    scale = makespan / width
+
+    lines = []
+    for core_id, lane in zip(core_ids, lanes):
+        row = []
+        for i in range(width):
+            t = (i + 0.5) * scale
+            ch = "."
+            for start, end, label, rate in lane:
+                if start <= t < end:
+                    ch = label.upper() if rate >= high_cut else label.lower()
+                    break
+            row.append(ch)
+        lines.append(f"core {core_id} |{''.join(row)}|")
+    lines.append(f"        0s{' ' * (width - len(f'{makespan:.0f}s') - 2)}{makespan:.0f}s")
+
+    # legend: task letter → name, rate
+    legend = []
+    seen = set()
+    for lane in lanes:
+        for _, _, label, rate in lane:
+            if label not in seen:
+                seen.add(label)
+                legend.append(f"{label}@{rate:g}GHz")
+    lines.append("tasks: " + " ".join(legend))
+    lines.append("UPPERCASE = top rate band; lowercase = below; '.' = idle")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Cost normalisation and comparison metrics.
+
+Figures 1-3 of the paper plot *normalized* time, energy, and total
+cost — every scheduler's components divided by a reference scheduler's.
+This module computes those ratios and the percentage improvements the
+paper quotes in prose ("WBG consumes 46% less energy than OLB ...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.models.cost import ScheduleCost
+
+
+@dataclass(frozen=True)
+class NormalizedCost:
+    """One scheduler's cost components relative to a reference (= 1.0)."""
+
+    label: str
+    time: float
+    energy: float
+    total: float
+
+    def __iter__(self):
+        yield from (self.time, self.energy, self.total)
+
+
+def normalize_costs(
+    costs: Mapping[str, ScheduleCost], reference: str
+) -> dict[str, NormalizedCost]:
+    """Divide each scheduler's (time, energy, total) cost by ``reference``'s.
+
+    Raises if the reference is missing or has any zero component.
+    """
+    if reference not in costs:
+        raise KeyError(f"reference {reference!r} not among {sorted(costs)}")
+    ref = costs[reference]
+    if ref.temporal_cost <= 0 or ref.energy_cost <= 0 or ref.total_cost <= 0:
+        raise ValueError("reference cost has a non-positive component")
+    out = {}
+    for label, c in costs.items():
+        out[label] = NormalizedCost(
+            label=label,
+            time=c.temporal_cost / ref.temporal_cost,
+            energy=c.energy_cost / ref.energy_cost,
+            total=c.total_cost / ref.total_cost,
+        )
+    return out
+
+
+def percent_change(new: float, old: float) -> float:
+    """Signed percentage change from ``old`` to ``new``.
+
+    Negative means ``new`` is smaller — e.g. ``percent_change(0.54·x, x)
+    ≈ -46`` is the paper's "46% less energy".
+    """
+    if old == 0:
+        raise ValueError("old value must be non-zero")
+    return 100.0 * (new - old) / old
+
+
+def improvement_summary(
+    costs: Mapping[str, ScheduleCost], ours: str, baseline: str
+) -> dict[str, float]:
+    """The paper-prose numbers: % change of ours vs a baseline per component."""
+    a, b = costs[ours], costs[baseline]
+    return {
+        "energy_pct": percent_change(a.energy_cost, b.energy_cost),
+        "time_pct": percent_change(a.temporal_cost, b.temporal_cost),
+        "total_pct": percent_change(a.total_cost, b.total_cost),
+        "makespan_pct": percent_change(a.makespan, b.makespan) if b.makespan else 0.0,
+    }

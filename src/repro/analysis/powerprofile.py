@@ -1,0 +1,90 @@
+"""ASCII power-over-time profiles from traced runs.
+
+Renders what the paper's wall meter saw: total platform power sampled
+over the run, as a terminal block chart, with per-rate annotation. Use
+with a traced batch run (``run_batch(..., keep_trace=True)``) — the
+per-core meters are merged into one platform meter first, exactly like
+a wall meter aggregating the whole box.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.simulator.batch_runner import BatchResult
+from repro.simulator.power import PowerMeter
+
+#: Eight-step block ramp for the vertical resolution of one text row.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def merge_platform_meter(meters: Sequence[PowerMeter]) -> PowerMeter:
+    """Fold per-core meters into one platform ("wall") meter."""
+    if not meters:
+        raise ValueError("need at least one meter")
+    total = PowerMeter(idle_power=sum(m.idle_power for m in meters), keep_trace=True)
+    for m in meters:
+        total.merge(m)
+    return total
+
+
+def render_power_profile(
+    meter: PowerMeter,
+    duration: float,
+    width: int = 72,
+    height: int = 6,
+) -> str:
+    """Block chart of booked power over ``[0, duration]``.
+
+    ``width`` columns × ``height`` rows; each column is the mean power
+    over its time bucket (sampled at 4× column resolution to keep
+    short spikes visible).
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if width < 4 or height < 1:
+        raise ValueError("width must be >= 4 and height >= 1")
+
+    samples_per_col = 4
+    dt = duration / (width * samples_per_col)
+    columns = []
+    for c in range(width):
+        acc = 0.0
+        for s in range(samples_per_col):
+            t = (c * samples_per_col + s + 0.5) * dt
+            acc += meter.power_at(t)
+        columns.append(acc / samples_per_col)
+
+    peak = max(columns) if any(columns) else 1.0
+    if peak <= 0:
+        peak = 1.0
+
+    rows = []
+    for level in range(height, 0, -1):
+        hi = peak * level / height
+        lo = peak * (level - 1) / height
+        line = []
+        for p in columns:
+            if p <= lo:
+                line.append(" ")
+            elif p >= hi:
+                line.append(_BLOCKS[-1])
+            else:
+                frac = (p - lo) / (hi - lo)
+                line.append(_BLOCKS[max(1, min(8, int(round(frac * 8))))])
+        label = f"{hi:7.1f}W |"
+        rows.append(label + "".join(line))
+    rows.append(" " * 9 + "+" + "-" * width)
+    rows.append(" " * 10 + f"0s{' ' * (width - len(f'{duration:.0f}s') - 2)}{duration:.0f}s")
+    rows.append(f"peak {peak:.1f} W, mean "
+                f"{sum(columns) / len(columns):.1f} W over {duration:.0f} s")
+    return "\n".join(rows)
+
+
+def batch_power_profile(
+    result: BatchResult, meters: Sequence[PowerMeter], width: int = 72, height: int = 6
+) -> str:
+    """Convenience: platform profile for a finished traced batch run."""
+    platform = merge_platform_meter(meters)
+    return render_power_profile(platform, max(result.makespan, 1e-9),
+                                width=width, height=height)

@@ -1,0 +1,99 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The benchmark harness prints these so a terminal run of
+``pytest benchmarks/`` shows the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.metrics import NormalizedCost
+from repro.models.cost import ScheduleCost
+from repro.models.rates import RateTable
+from repro.workloads.spec import SpecWorkload
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table. Floats render with 4 significant digits."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table_i(workloads: Sequence[SpecWorkload]) -> str:
+    """Table I: average execution times of the workloads (seconds)."""
+    return format_table(
+        ["Benchmark", "train input", "ref. input"],
+        [(w.benchmark, w.train_seconds, w.ref_seconds) for w in workloads],
+        title="TABLE I — AVERAGE EXECUTION TIMES OF THE WORKLOADS (SECONDS)",
+    )
+
+
+def render_table_ii(table: RateTable) -> str:
+    """Table II: parameters in batch mode."""
+    return format_table(
+        ["p_k"] + [f"{p:g}" for p in table.rates],
+        [
+            ["E(p_k)"] + [f"{e:g}" for e in table.energy_per_cycle],
+            ["T(p_k)"] + [f"{t:g}" for t in table.time_per_cycle],
+        ],
+        title="TABLE II — PARAMETERS IN BATCH MODE",
+    )
+
+
+def render_cost_comparison(
+    normalized: Mapping[str, NormalizedCost], reference: str, title: str
+) -> str:
+    """A figure as text: normalized time / energy / total per scheduler."""
+    rows = []
+    for label, n in normalized.items():
+        marker = " (ref)" if label == reference else ""
+        rows.append((label + marker, n.time, n.energy, n.total))
+    return format_table(
+        ["Scheduler", "Norm. time", "Norm. energy", "Norm. total"], rows, title=title
+    )
+
+
+def render_cost_breakdown(costs: Mapping[str, ScheduleCost], title: str) -> str:
+    """Raw (unnormalised) components, for EXPERIMENTS.md appendices."""
+    rows = []
+    for label, c in costs.items():
+        rows.append(
+            (
+                label,
+                c.energy_joules,
+                c.turnaround_sum,
+                c.makespan,
+                c.energy_cost,
+                c.temporal_cost,
+                c.total_cost,
+            )
+        )
+    return format_table(
+        ["Scheduler", "Joules", "Σ turnaround (s)", "Makespan (s)",
+         "Energy cost", "Time cost", "Total cost"],
+        rows,
+        title=title,
+    )

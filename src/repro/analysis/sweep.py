@@ -1,0 +1,93 @@
+"""Parameter-sweep utility for scheduler comparisons.
+
+Answers the "how does the comparison move as X changes?" questions the
+single-point figures cannot: core counts, pricing ratios, workload
+scales. A sweep is a cartesian grid of configurations; each cell runs
+every scheduler through the appropriate harness and records the full
+cost breakdown, ready for tabulation or JSON export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.analysis.metrics import improvement_summary
+from repro.models.cost import ScheduleCost
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid cell: the configuration and every scheduler's cost."""
+
+    config: tuple[tuple[str, object], ...]  # sorted (name, value) pairs
+    costs: Mapping[str, ScheduleCost]
+
+    def config_dict(self) -> dict:
+        return dict(self.config)
+
+    def improvement(self, ours: str, baseline: str) -> dict[str, float]:
+        return improvement_summary(self.costs, ours, baseline)
+
+
+@dataclass
+class SweepResult:
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def series(
+        self, x: str, ours: str, baseline: str, metric: str = "total_pct"
+    ) -> list[tuple[object, float]]:
+        """(x-value, improvement %) pairs, sorted by x — one figure series."""
+        out = []
+        for p in self.points:
+            cfg = p.config_dict()
+            if x not in cfg:
+                raise KeyError(f"sweep axis {x!r} not in config {sorted(cfg)}")
+            out.append((cfg[x], p.improvement(ours, baseline)[metric]))
+        out.sort(key=lambda t: t[0])  # type: ignore[arg-type]
+        return out
+
+    def table_rows(self, ours: str, baselines: Sequence[str]) -> list[tuple]:
+        rows = []
+        for p in self.points:
+            cfg = p.config_dict()
+            label = ", ".join(f"{k}={v}" for k, v in sorted(cfg.items()))
+            cells = [label]
+            for b in baselines:
+                cells.append(f"{p.improvement(ours, b)['total_pct']:+.1f}%")
+            rows.append(tuple(cells))
+        return rows
+
+
+def grid(**axes: Iterable) -> list[dict]:
+    """Cartesian product of named axes as a list of config dicts."""
+    if not axes:
+        return [{}]
+    import itertools
+
+    names = sorted(axes)
+    combos = itertools.product(*(list(axes[n]) for n in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def run_sweep(
+    configs: Sequence[Mapping[str, object]],
+    experiment: Callable[..., Mapping[str, ScheduleCost]],
+) -> SweepResult:
+    """Run ``experiment(**config)`` for every configuration.
+
+    ``experiment`` returns ``{scheduler_label: ScheduleCost}`` per cell.
+    Cells run sequentially and deterministically in the given order.
+    """
+    result = SweepResult()
+    for config in configs:
+        costs = experiment(**config)
+        if not costs:
+            raise ValueError(f"experiment returned no costs for config {config}")
+        result.points.append(
+            SweepPoint(config=tuple(sorted(config.items())), costs=dict(costs))
+        )
+    return result

@@ -1,0 +1,162 @@
+"""Continuous-rate relaxation of the batch scheduling problem.
+
+The paper restricts rates to the hardware menu ``P``. Dropping that
+restriction (the model of the related work: Yao et al., Bansal et al.)
+gives a closed-form optimum that serves two purposes here:
+
+1. a **lower bound** on any discrete schedule's cost — useful to report
+   how much the hardware menu costs (the discretisation loss);
+2. a **rounding target** — the best discrete schedule is found by
+   snapping each position's continuous rate to a neighbouring menu
+   rate, which the dominating ranges do implicitly; making the
+   relaxation explicit lets us verify that Algorithm 1 never does worse
+   than neighbour-rounding.
+
+With busy power ``c·p^α`` (so ``E(p) = c·p^{α-1}``, ``T(p) = 1/p``) the
+positional cost at backward position ``k`` is
+
+``CB(k, p) = Re·c·p^{α-1} + k·Rt/p``
+
+minimised at ``p*(k) = ( k·Rt / (Re·c·(α-1)) )^{1/α}`` (Equation in
+:meth:`repro.models.energy.PowerLawEnergy.optimal_rate`), giving
+
+``CB*(k) = κ · (Re·c)^{1/α} · (k·Rt)^{(α-1)/α}``,  ``κ = α·(α-1)^{(1-α)/α}``.
+
+The optimal order is still shortest-task-first: Lemma 2 (``CB*``
+increasing in ``k``) and Lemma 3's exchange argument hold verbatim for
+the continuous minimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.models.energy import PowerLawEnergy
+from repro.models.task import Task
+
+
+@dataclass(frozen=True)
+class ContinuousPlacement:
+    """One task in the continuous-rate optimal schedule."""
+
+    task: Task
+    rate: float
+    backward_position: int
+
+
+@dataclass(frozen=True)
+class ContinuousSchedule:
+    """The continuous-rate optimum for one core."""
+
+    placements: tuple[ContinuousPlacement, ...]  # execution order
+    total_cost: float
+
+    def __len__(self) -> int:
+        return len(self.placements)
+
+    def rates(self) -> list[float]:
+        return [p.rate for p in self.placements]
+
+
+class ContinuousRelaxation:
+    """Closed-form single-core optimum under a power-law energy model.
+
+    Parameters
+    ----------
+    power:
+        The continuous model (coefficient ``c``, exponent ``α``).
+    re, rt:
+        The pricing constants, as in :class:`~repro.models.cost.CostModel`.
+    """
+
+    def __init__(self, power: PowerLawEnergy, re: float, rt: float) -> None:
+        if re <= 0 or rt <= 0:
+            raise ValueError("Re and Rt must be positive")
+        self.power = power
+        self.re = float(re)
+        self.rt = float(rt)
+
+    # -- positional quantities --------------------------------------------------
+    def optimal_rate(self, kb: int) -> float:
+        """``p*(kb)`` — the continuous minimiser at backward position ``kb``."""
+        if kb < 1:
+            raise ValueError("backward position must be >= 1")
+        return self.power.optimal_rate(self.re, self.rt, kb - 1)
+
+    def positional_cost(self, kb: int, rate: float) -> float:
+        """``CB(kb, p)`` under the continuous model."""
+        if kb < 1:
+            raise ValueError("backward position must be >= 1")
+        return (
+            self.re * self.power.energy_per_cycle(rate)
+            + kb * self.rt * self.power.time_per_cycle(rate)
+        )
+
+    def optimal_positional_cost(self, kb: int) -> float:
+        """``CB*(kb)`` in closed form (also = positional_cost(kb, p*(kb)))."""
+        a = self.power.alpha
+        c = self.power.coefficient
+        kappa = a * (a - 1.0) ** ((1.0 - a) / a)
+        return kappa * (self.re * c) ** (1.0 / a) * (kb * self.rt) ** ((a - 1.0) / a)
+
+    # -- whole-schedule results ----------------------------------------------------
+    def schedule(self, tasks: Iterable[Task]) -> ContinuousSchedule:
+        """Shortest-first order with per-position continuous rates."""
+        ordered = sorted(tasks, key=lambda t: (t.cycles, t.task_id))
+        n = len(ordered)
+        placements = []
+        total = 0.0
+        for i, task in enumerate(ordered):
+            kb = n - i
+            rate = self.optimal_rate(kb)
+            placements.append(
+                ContinuousPlacement(task=task, rate=rate, backward_position=kb)
+            )
+            total += self.optimal_positional_cost(kb) * task.cycles
+        return ContinuousSchedule(placements=tuple(placements), total_cost=total)
+
+    def lower_bound(self, tasks: Iterable[Task]) -> float:
+        """Minimum cost over *all* rate choices — the discretisation floor."""
+        cycles = sorted((t.cycles for t in tasks), reverse=True)
+        return sum(
+            self.optimal_positional_cost(kb) * L
+            for kb, L in enumerate(cycles, start=1)
+        )
+
+    # -- discretisation ---------------------------------------------------------------
+    def neighbour_rounding_cost(self, tasks: Iterable[Task], rates: Sequence[float]) -> float:
+        """Cost when each position's ``p*`` snaps to its best menu neighbour.
+
+        For each backward position, evaluates the two menu rates
+        bracketing ``p*(kb)`` and keeps the cheaper; convexity of
+        ``CB(kb, ·)`` makes this the best single-rate discretisation per
+        position, so it must coincide with the dominating-range choice
+        over the same menu (property-tested).
+        """
+        menu = sorted(rates)
+        if not menu:
+            raise ValueError("menu must be non-empty")
+        cycles = sorted((t.cycles for t in tasks), reverse=True)
+        total = 0.0
+        for kb, L in enumerate(cycles, start=1):
+            star = self.optimal_rate(kb)
+            candidates = set()
+            for i, p in enumerate(menu):
+                if p >= star:
+                    candidates.add(p)
+                    if i > 0:
+                        candidates.add(menu[i - 1])
+                    break
+            else:
+                candidates.add(menu[-1])
+            total += min(self.positional_cost(kb, p) for p in candidates) * L
+        return total
+
+    def discretisation_loss(self, tasks: Sequence[Task], rates: Sequence[float]) -> float:
+        """Relative extra cost of the menu vs continuous DVFS (≥ 0)."""
+        lb = self.lower_bound(tasks)
+        if lb == 0.0:
+            return 0.0
+        return self.neighbour_rounding_cost(tasks, rates) / lb - 1.0

@@ -1,0 +1,263 @@
+"""Deadline-constrained batch scheduling (Section III-A, Theorems 1-2).
+
+The paper proves **Deadline-SingleCore** — pick an order and per-task
+rates so every task meets its deadline and total energy stays within a
+budget — NP-complete by reduction from Partition, and likewise
+**Deadline-MultiCore** (two identical cores, common deadline).
+
+This module implements
+
+* the two reductions *constructively* (:func:`partition_to_deadline_single_core`,
+  :func:`partition_to_deadline_multi_core`), so the equivalence
+  "Partition solvable ⇔ constructed instance feasible" can be tested
+  exhaustively on small inputs;
+* exact solvers for small instances: a Pareto-frontier dynamic program
+  over (completion-time, energy) states for the single-core problem and
+  a subset-enumeration solver for the two-core problem;
+* :func:`solve_partition_bruteforce`, the classic subset-sum check.
+
+None of these run in polynomial time — they cannot, unless P = NP — but
+they make the reductions executable and give the test suite ground
+truth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.models.rates import RateTable
+from repro.models.task import Task
+
+
+@dataclass(frozen=True)
+class DeadlineInstance:
+    """An instance of Deadline-SingleCore / Deadline-MultiCore.
+
+    ``tasks`` carry their cycle counts and deadlines; ``table`` is the
+    shared rate table; ``energy_budget`` is the bound ``E`` (``inf``
+    when, as in the multi-core reduction, only time is constrained);
+    ``n_cores`` distinguishes the two problems.
+    """
+
+    tasks: tuple[Task, ...]
+    table: RateTable
+    energy_budget: float
+    n_cores: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        if self.energy_budget < 0:
+            raise ValueError("energy_budget must be non-negative")
+
+
+@dataclass(frozen=True)
+class DeadlineSolution:
+    """A feasible witness: per-task (core, rate) choices in execution order."""
+
+    order: tuple[Task, ...]
+    rates: tuple[float, ...]
+    cores: tuple[int, ...]
+    total_energy: float
+    makespan: float
+
+
+# ---------------------------------------------------------------------------
+# Reductions (Theorems 1 and 2)
+# ---------------------------------------------------------------------------
+
+#: The proof's two-rate gadget: high speed twice the low speed, T(pl)=2,
+#: T(ph)=1, E(pl)=1, E(ph)=4 (dynamic energy ∝ frequency², per cycle).
+REDUCTION_TABLE = RateTable(
+    rates=[0.5, 1.0],
+    energy_per_cycle=[1.0, 4.0],
+    time_per_cycle=[2.0, 1.0],
+    name="theorem-1-gadget",
+)
+
+
+def partition_to_deadline_single_core(values: Sequence[int]) -> DeadlineInstance:
+    """Theorem 1's construction: Partition ``{a_i}`` → Deadline-SingleCore.
+
+    ``n`` tasks with ``L_i = a_i``, two rates (``T``: 2 vs 1, ``E``: 1
+    vs 4), every deadline ``1.5·S`` and energy budget ``2.5·S`` where
+    ``S = Σ a_i``. Feasible iff the values can be split into two
+    halves of equal sum.
+    """
+    if not values or any(v <= 0 for v in values):
+        raise ValueError("Partition instance must be positive integers")
+    s = float(sum(values))
+    deadline = 1.5 * s
+    tasks = tuple(
+        Task(cycles=float(a), deadline=deadline, name=f"a{i}") for i, a in enumerate(values)
+    )
+    return DeadlineInstance(tasks=tasks, table=REDUCTION_TABLE, energy_budget=2.5 * s, n_cores=1)
+
+
+def partition_to_deadline_multi_core(values: Sequence[int]) -> DeadlineInstance:
+    """Theorem 2's construction: Partition → Deadline-MultiCore.
+
+    Two identical single-rate cores, common deadline ``S/2·T(p)``, no
+    energy constraint. Feasible iff Partition is solvable.
+    """
+    if not values or any(v <= 0 for v in values):
+        raise ValueError("Partition instance must be positive integers")
+    s = float(sum(values))
+    single_rate = RateTable(rates=[1.0], energy_per_cycle=[1.0], time_per_cycle=[1.0],
+                            name="theorem-2-gadget")
+    deadline = s / 2.0
+    tasks = tuple(
+        Task(cycles=float(a), deadline=deadline, name=f"a{i}") for i, a in enumerate(values)
+    )
+    return DeadlineInstance(tasks=tasks, table=single_rate, energy_budget=math.inf, n_cores=2)
+
+
+def solve_partition_bruteforce(values: Sequence[int]) -> Optional[tuple[int, ...]]:
+    """Return a subset (as a bitmask tuple of indices) summing to S/2, or None.
+
+    Subset-sum dynamic program, ``O(n·S)``.
+    """
+    total = sum(values)
+    if total % 2 != 0:
+        return None
+    target = total // 2
+    reachable: dict[int, tuple[int, ...]] = {0: ()}
+    for i, v in enumerate(values):
+        updates = {}
+        for ssum, subset in reachable.items():
+            nxt = ssum + v
+            if nxt <= target and nxt not in reachable:
+                updates[nxt] = subset + (i,)
+        reachable.update(updates)
+        if target in reachable:
+            return reachable[target]
+    return reachable.get(target)
+
+
+# ---------------------------------------------------------------------------
+# Exact solvers (small instances)
+# ---------------------------------------------------------------------------
+
+
+def solve_deadline_single_core(instance: DeadlineInstance) -> Optional[DeadlineSolution]:
+    """Exact Deadline-SingleCore decision + witness via Pareto DP.
+
+    Tasks are processed in EDF order — for non-preemptive tasks with a
+    common arrival time, *some* feasible schedule is EDF-ordered
+    whenever any feasible schedule exists (a standard exchange
+    argument: swapping two adjacent tasks into deadline order never
+    makes either late, and rates/energy are untouched). States are
+    (completion-time, energy) pairs, pruned to the Pareto frontier;
+    worst-case exponential in ``n`` but exact.
+    """
+    if instance.n_cores != 1:
+        raise ValueError("use solve_deadline_multi_core for multi-core instances")
+    ordered = sorted(instance.tasks, key=lambda t: (t.deadline, t.task_id))
+    # state: (time, energy) -> rate choices so far (tuple)
+    frontier: dict[tuple[float, float], tuple[float, ...]] = {(0.0, 0.0): ()}
+    for task in ordered:
+        nxt: dict[tuple[float, float], tuple[float, ...]] = {}
+        for (t, e), choices in frontier.items():
+            for p in instance.table.rates:
+                t2 = t + task.cycles * instance.table.time(p)
+                e2 = e + task.cycles * instance.table.energy(p)
+                if t2 > task.deadline + 1e-9 or e2 > instance.energy_budget + 1e-9:
+                    continue
+                nxt[(t2, e2)] = choices + (p,)
+        frontier = _pareto_prune(nxt)
+        if not frontier:
+            return None
+    (t, e), choices = min(frontier.items(), key=lambda kv: (kv[0][1], kv[0][0]))
+    return DeadlineSolution(
+        order=tuple(ordered),
+        rates=choices,
+        cores=(0,) * len(ordered),
+        total_energy=e,
+        makespan=t,
+    )
+
+
+def solve_deadline_multi_core(instance: DeadlineInstance, max_tasks: int = 20) -> Optional[DeadlineSolution]:
+    """Exact Deadline-MultiCore decision for ``n_cores`` identical cores.
+
+    Enumerates assignments of tasks to cores (``R^n``; guarded by
+    ``max_tasks``), then solves each core independently with the
+    single-core Pareto DP under a *shared* energy budget handled by
+    summing per-core Pareto-minimal energies. For the common-deadline,
+    single-rate instances produced by Theorem 2's reduction this is
+    simply a partition check, but the solver accepts general instances.
+    """
+    n = len(instance.tasks)
+    if n > max_tasks:
+        raise ValueError(f"exact multi-core solver limited to {max_tasks} tasks")
+    r = instance.n_cores
+    best: Optional[DeadlineSolution] = None
+    for assignment in itertools.product(range(r), repeat=n):
+        per_core_tasks: list[list[Task]] = [[] for _ in range(r)]
+        for task, core in zip(instance.tasks, assignment):
+            per_core_tasks[core].append(task)
+        total_energy = 0.0
+        makespan = 0.0
+        order: list[Task] = []
+        rates: list[float] = []
+        cores: list[int] = []
+        feasible = True
+        for j in range(r):
+            sub = DeadlineInstance(
+                tasks=tuple(per_core_tasks[j]),
+                table=instance.table,
+                energy_budget=instance.energy_budget - total_energy,
+                n_cores=1,
+            )
+            if not sub.tasks:
+                continue
+            sol = solve_deadline_single_core(sub)
+            if sol is None:
+                feasible = False
+                break
+            total_energy += sol.total_energy
+            makespan = max(makespan, sol.makespan)
+            order.extend(sol.order)
+            rates.extend(sol.rates)
+            cores.extend([j] * len(sol.order))
+        if feasible and total_energy <= instance.energy_budget + 1e-9:
+            candidate = DeadlineSolution(
+                order=tuple(order), rates=tuple(rates), cores=tuple(cores),
+                total_energy=total_energy, makespan=makespan,
+            )
+            if best is None or candidate.total_energy < best.total_energy:
+                best = candidate
+    return best
+
+
+def verify_solution(instance: DeadlineInstance, solution: DeadlineSolution) -> bool:
+    """Independently re-check a witness against the instance's constraints."""
+    clocks = [0.0] * instance.n_cores
+    energy = 0.0
+    for task, rate, core in zip(solution.order, solution.rates, solution.cores):
+        if rate not in instance.table:
+            return False
+        if not (0 <= core < instance.n_cores):
+            return False
+        clocks[core] += task.cycles * instance.table.time(rate)
+        energy += task.cycles * instance.table.energy(rate)
+        if clocks[core] > task.deadline + 1e-9:
+            return False
+    return energy <= instance.energy_budget + 1e-9
+
+
+def _pareto_prune(
+    states: dict[tuple[float, float], tuple[float, ...]]
+) -> dict[tuple[float, float], tuple[float, ...]]:
+    """Keep only (time, energy) states not dominated by another state."""
+    items = sorted(states.items(), key=lambda kv: (kv[0][0], kv[0][1]))
+    pruned: dict[tuple[float, float], tuple[float, ...]] = {}
+    best_energy = math.inf
+    for (t, e), choices in items:
+        if e < best_energy - 1e-12:
+            pruned[(t, e)] = choices
+            best_energy = e
+    return pruned

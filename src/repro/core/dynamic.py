@@ -1,0 +1,294 @@
+"""Section IV-A — dynamic task insertion/deletion with incremental cost.
+
+A single-core queue kept in the cost-optimal order (Theorem 3) is, seen
+backwards, the descending-cycle-count sequence ``L^B_1 >= L^B_2 >= ...``
+whose total cost is
+
+``C = Σ_k (Re·L^B_k·E(p_k) + k·Rt·L^B_k·T(p_k))
+    = Σ_{p ∈ P̂} ( Re·E(p)·ξ(D_p) + Rt·T(p)·γ(D_p) )``       (Equation 32)
+
+with ``ξ``/``Δ``/``γ`` the range aggregates of Equations 28-30. The
+paper maintains ``C`` under task arrival/completion by storing tasks in
+a 1D range tree and keeping, **per dominating range** ``i``:
+
+* ``a_i`` — the range's first backward position (fixed),
+* ``b_i`` — the last position currently occupied (``a_i - 1`` if empty),
+* ``α_i`` / ``β_i`` — pointers to the boundary tree nodes,
+* ``x_i = ξ([a_i, b_i])`` and ``d_i = Δ([a_i, b_i])``.
+
+An insert lands in exactly one range and shifts at most one element
+across each later range boundary (the cascade loops of Algorithms 5
+and 6), so maintenance costs ``O(|P̂| + log N)`` and the total cost
+query is ``Θ(1)``.
+
+Note on Algorithm 6 line 20: the paper's text reads
+``d_i ← d_i − (k_B − a_i + 1)·*ptr + range_sum(...)``; the ``+`` is a
+typesetting slip — deletion is the exact inverse of Algorithm 5 line 8
+(which *adds* both terms), so both terms must be subtracted. The
+property tests against :class:`NaiveCostIndex` confirm the corrected
+sign.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.core.dominating import DominatingRanges
+from repro.models.cost import CostModel
+from repro.structures.rangetree import RangeTree, RangeTreeNode
+
+
+class DynamicCostIndex:
+    """Algorithms 4-6: a mutable optimal queue with ``Θ(1)`` total cost.
+
+    The queue it models is always in the cost-optimal order; backward
+    position ``k`` holds the ``k``-th largest task. :meth:`insert`
+    corresponds to a task arrival, :meth:`delete` to a completion (or
+    cancellation), and :attr:`total_cost` is Equation 32, maintained
+    incrementally.
+    """
+
+    def __init__(self, model: CostModel, ranges: Optional[DominatingRanges] = None,
+                 seed: int = 0x5EED) -> None:
+        self.model = model
+        self.ranges = ranges if ranges is not None else DominatingRanges.from_cost_model(model)
+        self.tree = RangeTree(seed=seed)
+
+        # Algorithm 4: per-dominating-range bookkeeping.
+        n_ranges = len(self.ranges)
+        self._a = [r.lo for r in self.ranges.ranges]
+        self._hi = [r.hi for r in self.ranges.ranges]  # exclusive; None = unbounded
+        self._b = [a - 1 for a in self._a]
+        self._alpha: list[Optional[RangeTreeNode]] = [None] * n_ranges
+        self._beta: list[Optional[RangeTreeNode]] = [None] * n_ranges
+        self._x = [0.0] * n_ranges
+        self._d = [0.0] * n_ranges
+        # cached Re·E(p̂_i) and Rt·T(p̂_i) factors of Equation 32
+        self._ree = [model.re * model.table.energy(r.rate) for r in self.ranges.ranges]
+        self._rtt = [model.rt * model.table.time(r.rate) for r in self.ranges.ranges]
+        self._cost = 0.0
+
+    # -- queries -------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    @property
+    def total_cost(self) -> float:
+        """Equation 32, maintained incrementally. ``Θ(1)``."""
+        return self._cost
+
+    def rate_of(self, node: RangeTreeNode) -> float:
+        """The rate the task at ``node`` should currently execute/queue at.
+
+        ``O(log N)`` (one rank query); this is the per-task frequency
+        adjustment LMC applies after every queue change.
+        """
+        return self.ranges.rate_for(self.tree.rank(node))
+
+    def backward_position(self, node: RangeTreeNode) -> int:
+        return self.tree.rank(node)
+
+    def execution_order(self) -> list[RangeTreeNode]:
+        """Nodes in *forward* execution order (shortest first)."""
+        return list(self.tree)[::-1]
+
+    def head(self) -> Optional[RangeTreeNode]:
+        """The node that should execute first (smallest cycle count)."""
+        return self.tree.max_node()
+
+    def marginal_insert_cost(self, cycles: float) -> float:
+        """Cost increase if a task of ``cycles`` were inserted, without
+        (observably) mutating the index. ``O(|P̂| + log N)``.
+
+        LMC's core-selection step calls this once per core per
+        non-interactive arrival. Implemented as insert → read → delete,
+        which restores the exact logical state.
+        """
+        before = self._cost
+        node = self.insert(cycles)
+        after = self._cost
+        self.delete(node)
+        if not math.isclose(self._cost, before, rel_tol=1e-9, abs_tol=1e-9):
+            raise AssertionError("marginal cost probe failed to restore state")
+        self._cost = before  # clamp away float drift from the probe
+        return after - before
+
+    # -- Algorithm 5: insert ----------------------------------------------------------
+    def insert(self, cycles: float, payload: Any = None) -> RangeTreeNode:
+        """Insert a task; returns its node handle. ``O(|P̂| + log N)``."""
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        ptr = self.tree.insert(cycles, payload)
+        kb = self.tree.rank(ptr)
+        i = self.ranges.range_index_for(kb)
+
+        if kb == self._a[i]:
+            self._alpha[i] = ptr
+        if kb > self._b[i]:
+            self._beta[i] = ptr
+        self._b[i] += 1
+        self._x[i] += cycles
+        # the new node contributes local position (kb - a_i + 1); everything
+        # after it inside the range shifts one local position later.
+        self._d[i] += (kb - self._a[i] + 1) * cycles + self.tree.range_sum(kb + 1, self._b[i])
+
+        # cascade: while range i overflows, its last element moves to range i+1
+        while self._hi[i] is not None and self._b[i] > self._hi[i] - 1:
+            moved = self._beta[i]
+            assert moved is not None
+            self._d[i] -= (self._b[i] - self._a[i] + 1) * moved.value
+            self._x[i] -= moved.value
+            self._b[i] -= 1
+            self._beta[i] = moved.prev
+            if self._b[i] < self._a[i]:
+                self._alpha[i] = None
+                self._beta[i] = None
+                self._x[i] = 0.0  # snap float residue: the range is empty
+                self._d[i] = 0.0
+            i += 1
+            self._alpha[i] = moved
+            if self._a[i] > self._b[i]:
+                self._beta[i] = moved
+            self._b[i] += 1
+            self._x[i] += moved.value
+            # moved enters at local position 1; prior occupants shift +1 each:
+            # Δ gains x_i(old) + moved.value = x_i(new).
+            self._d[i] += self._x[i]
+
+        self._recompute_cost()
+        return ptr
+
+    # -- Algorithm 6: delete ----------------------------------------------------------
+    def delete(self, ptr: RangeTreeNode) -> None:
+        """Remove a task by handle. ``O(|P̂| + log N)``."""
+        kb = self.tree.rank(ptr)
+        # i ← last non-empty range
+        i = max(j for j in range(len(self._a)) if self._a[j] <= self._b[j])
+
+        # cascade: every non-empty range past kb's range loses its first
+        # element across the boundary into the previous range.
+        while self._a[i] > kb:
+            tptr = self._alpha[i]
+            assert tptr is not None
+            self._d[i] -= self._x[i]
+            self._x[i] -= tptr.value
+            self._b[i] -= 1
+            if self._a[i] <= self._b[i]:
+                self._alpha[i] = tptr.next
+            else:
+                self._alpha[i] = None
+                self._beta[i] = None
+                self._x[i] = 0.0  # snap float residue: the range is empty
+                self._d[i] = 0.0
+            i -= 1
+            self._beta[i] = tptr
+            if self._a[i] > self._b[i]:
+                self._alpha[i] = tptr
+            self._b[i] += 1
+            self._x[i] += tptr.value
+            self._d[i] += (self._b[i] - self._a[i] + 1) * tptr.value
+
+        # remove ptr from range i (it still occupies rank kb in the tree).
+        # Inverse of Algorithm 5 line 8 — both terms subtracted (see module
+        # docstring on the paper's sign slip).
+        self._d[i] -= (kb - self._a[i] + 1) * ptr.value + self.tree.range_sum(kb + 1, self._b[i])
+        self._x[i] -= ptr.value
+        self._b[i] -= 1
+        if self._a[i] > self._b[i]:
+            self._alpha[i] = None
+            self._beta[i] = None
+            self._x[i] = 0.0  # snap float residue: the range is empty
+            self._d[i] = 0.0
+        elif self._alpha[i] is ptr:
+            self._alpha[i] = ptr.next
+        elif self._beta[i] is ptr:
+            self._beta[i] = ptr.prev
+
+        self.tree.delete(ptr)
+        self._recompute_cost()
+
+    # -- internals ---------------------------------------------------------------------
+    def _recompute_cost(self) -> None:
+        """Equation 32 from the per-range aggregates. ``Θ(|P̂|)``."""
+        c = 0.0
+        for i in range(len(self._a)):
+            if self._x[i] == 0.0:
+                continue
+            gamma = self._d[i] + (self._a[i] - 1) * self._x[i]
+            c += self._ree[i] * self._x[i] + self._rtt[i] * gamma
+        self._cost = c
+
+    def check_invariants(self) -> None:
+        """Cross-check every aggregate against the tree. ``O(N + |P̂| log N)``; tests only."""
+        self.tree.check_invariants()
+        n = len(self.tree)
+        for i in range(len(self._a)):
+            a, b = self._a[i], self._b[i]
+            hi = self._hi[i]
+            expected_b = min(hi - 1, n) if hi is not None else n
+            expected_b = max(expected_b, a - 1)
+            assert b == expected_b, f"range {i}: b={b} expected {expected_b}"
+            if a > b:
+                assert self._alpha[i] is None and self._beta[i] is None
+                assert self._x[i] == 0.0
+                assert abs(self._d[i]) < 1e-6
+                continue
+            assert self._alpha[i] is not None and self._beta[i] is not None
+            assert self.tree.rank(self._alpha[i]) == a, f"range {i}: alpha rank mismatch"
+            assert self.tree.rank(self._beta[i]) == b, f"range {i}: beta rank mismatch"
+            xs = self.tree.range_sum(a, b)
+            ds = self.tree.range_delta(a, b)
+            assert math.isclose(self._x[i], xs, rel_tol=1e-9, abs_tol=1e-6), f"range {i}: x"
+            assert math.isclose(self._d[i], ds, rel_tol=1e-9, abs_tol=1e-6), f"range {i}: d"
+        naive = sum(
+            self.ranges.cost(kb) * node.value for kb, node in enumerate(self.tree, start=1)
+        )
+        assert math.isclose(self._cost, naive, rel_tol=1e-9, abs_tol=1e-6), "total cost drifted"
+
+
+class NaiveCostIndex:
+    """The ``Θ(N)``-per-operation specification DynamicCostIndex must match.
+
+    Keeps a plain sorted list and recomputes ``C = Σ CB*(k)·L^B_k``
+    from scratch after every mutation. Used as ground truth in tests
+    and as the baseline in ``bench_ablation_dynamic``.
+    """
+
+    def __init__(self, model: CostModel, ranges: Optional[DominatingRanges] = None) -> None:
+        self.model = model
+        self.ranges = ranges if ranges is not None else DominatingRanges.from_cost_model(model)
+        self._values: list[float] = []  # kept descending
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def insert(self, cycles: float, payload: Any = None) -> float:
+        if cycles <= 0:
+            raise ValueError("cycles must be positive")
+        # descending insertion point (stable: equal values go after)
+        lo, hi = 0, len(self._values)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._values[mid] >= cycles:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._values.insert(lo, cycles)
+        return cycles
+
+    def delete(self, cycles: float) -> None:
+        self._values.remove(cycles)
+
+    def marginal_insert_cost(self, cycles: float) -> float:
+        before = self.total_cost
+        self.insert(cycles)
+        after = self.total_cost
+        self.delete(cycles)
+        return after - before
+
+    @property
+    def total_cost(self) -> float:
+        return sum(
+            self.ranges.cost(kb) * v for kb, v in enumerate(self._values, start=1)
+        )

@@ -1,0 +1,45 @@
+"""Governor interface.
+
+A governor owns one core's frequency. The online runner calls
+:meth:`Governor.on_sample` once per sampling period with the core's
+measured load (busy fraction of the elapsed window) and applies the
+returned rate. Governors are stateless with respect to the simulation
+clock — the runner keeps the per-core window accounting — so one
+governor instance can serve many cores of the same type.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.models.rates import RateTable
+
+
+class Governor(abc.ABC):
+    """Frequency-selection policy for one core type."""
+
+    #: Seconds between load samples ("The loading of a core is measured
+    #: every second" — Section V-A3).
+    sampling_period: float = 1.0
+
+    def __init__(self, table: RateTable) -> None:
+        self.table = table
+
+    def available_rates(self) -> tuple[float, ...]:
+        """Rates this governor may select (subset of the core's table)."""
+        return self.table.rates
+
+    def initial_rate(self) -> float:
+        """Rate at simulation start / after reset."""
+        return self.available_rates()[-1]
+
+    @abc.abstractmethod
+    def on_sample(self, load: float, current_rate: float) -> float:
+        """New rate given the last window's ``load`` ∈ [0, 1]."""
+
+    def validate_load(self, load: float) -> None:
+        if not (0.0 <= load <= 1.0 + 1e-9):
+            raise ValueError(f"load must be within [0, 1], got {load}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(rates={self.available_rates()})"

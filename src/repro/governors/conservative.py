@@ -1,0 +1,48 @@
+"""The Linux ``conservative`` governor.
+
+A gentler sibling of ``ondemand`` (and the other stock Linux policy a
+DVFS baseline might realistically run): instead of jumping straight to
+the maximum frequency under load, it steps **up** one level when load
+exceeds the up-threshold and steps **down** one level when load falls
+below the down-threshold, leaving a hysteresis band in between.
+Included as an extension baseline; not part of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.governors.base import Governor
+from repro.models.rates import RateTable
+
+
+class ConservativeGovernor(Governor):
+    """Step-up / step-down governor with a hysteresis band."""
+
+    def __init__(
+        self,
+        table: RateTable,
+        up_threshold: float = 0.80,
+        down_threshold: float = 0.20,
+    ) -> None:
+        super().__init__(table)
+        if not (0.0 <= down_threshold < up_threshold <= 1.0):
+            raise ValueError("need 0 <= down_threshold < up_threshold <= 1")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+
+    def initial_rate(self) -> float:
+        # conservative starts low and works its way up
+        return self.available_rates()[0]
+
+    def on_sample(self, load: float, current_rate: float) -> float:
+        self.validate_load(load)
+        rates = self.available_rates()
+        i = bisect.bisect_left(rates, current_rate)
+        if i == len(rates) or rates[i] != current_rate:
+            i = max(0, i - 1)
+        if load >= self.up_threshold:
+            return rates[min(len(rates) - 1, i + 1)]
+        if load <= self.down_threshold:
+            return rates[max(0, i - 1)]
+        return rates[i]

@@ -1,0 +1,46 @@
+"""The Linux ``ondemand`` governor as described in Section V.
+
+"If a core's loading is higher than 85%, the frequency governor
+increases the core's frequency to the largest available selection. On
+the other hand, if the loading is lower than the threshold, the
+frequency governor reduces the processing frequency by one level. The
+loading of a core is measured every second."
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.governors.base import Governor
+from repro.models.rates import RateTable
+
+
+class OnDemandGovernor(Governor):
+    """Threshold-jump-up / step-down governor.
+
+    Parameters
+    ----------
+    table:
+        The core's full rate table.
+    threshold:
+        Load fraction above which the governor jumps to the maximum
+        available frequency (paper: 0.85).
+    """
+
+    def __init__(self, table: RateTable, threshold: float = 0.85) -> None:
+        super().__init__(table)
+        if not (0.0 < threshold <= 1.0):
+            raise ValueError("threshold must be in (0, 1]")
+        self.threshold = threshold
+
+    def on_sample(self, load: float, current_rate: float) -> float:
+        self.validate_load(load)
+        rates = self.available_rates()
+        if load >= self.threshold:
+            return rates[-1]
+        i = bisect.bisect_left(rates, current_rate)
+        if i == len(rates) or rates[i] != current_rate:
+            # current rate not in this governor's menu (e.g. it was just
+            # installed): snap to the nearest not-higher rate, then step down.
+            i = max(0, i - 1)
+        return rates[max(0, i - 1)]

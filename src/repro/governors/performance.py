@@ -1,0 +1,18 @@
+"""The ``performance`` governor: always the maximum frequency.
+
+Opportunistic Load Balancing "keeps the processing frequency of each
+core at the highest level" (Section V-B) — operationally the Linux
+``performance`` governor.
+"""
+
+from __future__ import annotations
+
+from repro.governors.base import Governor
+
+
+class PerformanceGovernor(Governor):
+    """Pins the core at its maximum available frequency."""
+
+    def on_sample(self, load: float, current_rate: float) -> float:
+        self.validate_load(load)
+        return self.available_rates()[-1]

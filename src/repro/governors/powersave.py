@@ -1,0 +1,28 @@
+"""The paper's "Power Saving" baseline governor.
+
+Section V-A3: "we limit the available frequencies in Power Saving to
+the lower half of the CPU frequency range, i.e., 1.6, 2.0, and 2.4
+GHz" while the Linux governor runs in on-demand mode over that
+restricted menu — so a fully loaded core settles at the restricted
+maximum (2.4 GHz on the i7-950 table).
+"""
+
+from __future__ import annotations
+
+from repro.governors.ondemand import OnDemandGovernor
+from repro.models.rates import RateTable
+
+
+class PowerSavingGovernor(OnDemandGovernor):
+    """On-demand over the lower half of the frequency range."""
+
+    def __init__(self, table: RateTable, threshold: float = 0.85) -> None:
+        super().__init__(table, threshold)
+        self._restricted = table.lower_half()
+
+    def available_rates(self) -> tuple[float, ...]:
+        return self._restricted.rates
+
+    @property
+    def restricted_table(self) -> RateTable:
+        return self._restricted

@@ -1,0 +1,35 @@
+"""The ``userspace`` governor: a fixed, externally chosen frequency.
+
+This is how the paper's own schedulers drive the hardware — Section V
+disables automatic scaling by writing ``userspace`` to
+``scaling_governor`` and then sets each core's frequency through
+``scaling_setspeed``. In the simulator, WBG/LMC plans carry their own
+per-task rates, so the userspace governor simply holds whatever rate
+the scheduler last requested.
+"""
+
+from __future__ import annotations
+
+from repro.governors.base import Governor
+from repro.models.rates import RateTable
+
+
+class UserspaceGovernor(Governor):
+    """Holds a scheduler-chosen frequency; load samples never change it."""
+
+    def __init__(self, table: RateTable, rate: float | None = None) -> None:
+        super().__init__(table)
+        self._rate = table.max_rate if rate is None else rate
+        table.index_of(self._rate)  # validate
+
+    def set_speed(self, rate: float) -> None:
+        """The ``scaling_setspeed`` write: choose a new fixed frequency."""
+        self.table.index_of(rate)
+        self._rate = rate
+
+    def initial_rate(self) -> float:
+        return self._rate
+
+    def on_sample(self, load: float, current_rate: float) -> float:
+        self.validate_load(load)
+        return self._rate

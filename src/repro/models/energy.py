@@ -1,0 +1,184 @@
+"""Energy-consumption model (Section II-C).
+
+For a task ``j_k`` executed entirely at rate ``p``:
+
+* energy  ``e_k = L_k · E(p)``   (Equation 1)
+* time    ``t_k = L_k · T(p)``   (Equation 2)
+
+:class:`EnergyModel` wraps a :class:`~repro.models.rates.RateTable` and
+adds platform-level accounting: busy power, an idle/system power floor
+(the paper measures total wall power and subtracts the idle reading),
+and energy for partial executions at mixed rates — needed by the online
+mode, where a core may change frequency mid-queue.
+
+:class:`PowerLawEnergy` is the continuous-rate analytic model
+(``power = c·p^α``) the related work (Yao et al.) and our YDS baseline
+use; it also provides the closed-form optimal continuous rate for the
+positional cost ``C(k, p)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.models.rates import RateTable
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Discrete-rate energy accounting on top of a :class:`RateTable`.
+
+    Parameters
+    ----------
+    table:
+        The per-core rate table (``P``, ``E``, ``T``).
+    idle_power:
+        Watts drawn by the core (plus its share of uncore/system) when
+        idle. The paper's measurement procedure subtracts the idle
+        reading, so schedulers evaluate *net* energy by default; the
+        simulator can still account for idle power explicitly.
+    """
+
+    table: RateTable
+    idle_power: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.idle_power < 0:
+            raise ValueError("idle_power must be non-negative")
+
+    # -- Equations 1 and 2 -----------------------------------------------------
+    def task_energy(self, cycles: float, rate: float) -> float:
+        """``e = L·E(p)`` — net joules to run ``cycles`` at ``rate``."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        return cycles * self.table.energy(rate)
+
+    def task_time(self, cycles: float, rate: float) -> float:
+        """``t = L·T(p)`` — seconds to run ``cycles`` at ``rate``."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        return cycles * self.table.time(rate)
+
+    def busy_power(self, rate: float) -> float:
+        """Watts drawn while executing at ``rate`` (net of idle floor)."""
+        return self.table.power(rate)
+
+    # -- mixed-rate segments (online mode) --------------------------------------
+    def segmented_energy(self, segments: list[tuple[float, float]]) -> float:
+        """Energy of an execution split into ``(cycles, rate)`` segments."""
+        return sum(self.task_energy(c, p) for c, p in segments)
+
+    def segmented_time(self, segments: list[tuple[float, float]]) -> float:
+        """Duration of an execution split into ``(cycles, rate)`` segments."""
+        return sum(self.task_time(c, p) for c, p in segments)
+
+    def cycles_in(self, duration: float, rate: float) -> float:
+        """How many cycles complete in ``duration`` seconds at ``rate``."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        return duration / self.table.time(rate)
+
+    def idle_energy(self, duration: float) -> float:
+        """Joules burned idling for ``duration`` seconds."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        return self.idle_power * duration
+
+
+@dataclass(frozen=True)
+class PowerLawEnergy:
+    """Continuous-rate analytic model: busy power ``c·p^α`` (α typically 3).
+
+    Per-cycle energy is ``E(p) = c·p^(α-1)`` and per-cycle time is
+    ``T(p) = 1/p``. This is the model of Yao, Demers and Shenker and of
+    the paper's NP-hardness construction ("dynamic energy proportional
+    to the square of the frequency" per cycle for α = 3).
+    """
+
+    coefficient: float = 1.0
+    alpha: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.coefficient <= 0:
+            raise ValueError("coefficient must be positive")
+        if self.alpha <= 1:
+            raise ValueError("alpha must exceed 1 for E(p) to increase with p")
+
+    def energy_per_cycle(self, rate: float) -> float:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        return self.coefficient * rate ** (self.alpha - 1.0)
+
+    def time_per_cycle(self, rate: float) -> float:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        return 1.0 / rate
+
+    def power(self, rate: float) -> float:
+        return self.coefficient * rate**self.alpha
+
+    def optimal_rate(self, re: float, rt: float, tasks_behind: int) -> float:
+        """Closed-form continuous minimiser of the positional cost.
+
+        Minimises ``C(p) = Re·E(p) + m·Rt·T(p)`` over continuous ``p``,
+        where ``m = tasks_behind + 1`` counts the task itself plus the
+        tasks it delays (forward position ``k`` in a queue of ``n`` has
+        ``m = n - k + 1``). Setting the derivative to zero:
+
+        ``Re·c·(α-1)·p^(α-2) = m·Rt / p²``  ⇒
+        ``p = (m·Rt / (Re·c·(α-1)))^(1/α)``
+
+        Used to bound the loss incurred by restricting to a discrete
+        rate set (see ``benchmarks/bench_ablation_dominating.py``).
+        """
+        if re <= 0 or rt <= 0:
+            raise ValueError("Re and Rt must be positive")
+        if tasks_behind < 0:
+            raise ValueError("tasks_behind must be non-negative")
+        m = tasks_behind + 1
+        return (m * rt / (re * self.coefficient * (self.alpha - 1.0))) ** (1.0 / self.alpha)
+
+    def discretize(self, rates: list[float], name: str = "") -> RateTable:
+        """Sample this continuous model at ``rates`` into a :class:`RateTable`."""
+        return RateTable(
+            rates,
+            [self.energy_per_cycle(p) for p in rates],
+            [self.time_per_cycle(p) for p in rates],
+            name=name or f"power-law(a={self.alpha:g})",
+        )
+
+
+@dataclass
+class EnergyLedger:
+    """Mutable accumulator for simulated energy, mirroring the power meter.
+
+    The paper integrates a wall-power reading over the execution period
+    and subtracts the idle baseline. :class:`EnergyLedger` keeps the two
+    components separate so reports can show either net or gross energy.
+    """
+
+    net_joules: float = 0.0
+    idle_joules: float = 0.0
+    _events: int = field(default=0, repr=False)
+
+    def add_busy(self, joules: float) -> None:
+        if joules < 0:
+            raise ValueError("busy energy increment must be non-negative")
+        self.net_joules += joules
+        self._events += 1
+
+    def add_idle(self, joules: float) -> None:
+        if joules < 0:
+            raise ValueError("idle energy increment must be non-negative")
+        self.idle_joules += joules
+        self._events += 1
+
+    @property
+    def gross_joules(self) -> float:
+        return self.net_joules + self.idle_joules
+
+    def merge(self, other: "EnergyLedger") -> None:
+        self.net_joules += other.net_joules
+        self.idle_joules += other.idle_joules
+        self._events += other._events

@@ -1,0 +1,73 @@
+"""Replay a precomputed batch plan through the *online* runner.
+
+The Figure 2 baselines assume the ondemand governor has converged (a
+fully loaded core pins its maximum available frequency), so the batch
+plans carry fixed rates. :class:`FixedAssignmentScheduler` lets that
+assumption be *checked* instead of trusted: it replays the same
+task→core lanes through the event-driven online runner with real
+per-second governor sampling, including the initial ramp and any
+step-downs around completions. The governor-dynamics ablation compares
+the two (`benchmarks/bench_ablation_governor_dynamics.py`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.models.cost import CoreSchedule
+from repro.models.task import Task
+from repro.simulator.online_runner import CoreView
+
+
+class FixedAssignmentScheduler:
+    """Online policy that follows a precomputed plan verbatim.
+
+    Placement and order come from the plan; frequencies are left to the
+    per-core governors (every rate method returns ``None``). All plan
+    tasks must arrive at time 0 (batch semantics).
+    """
+
+    def __init__(self, plan: Sequence[CoreSchedule]) -> None:
+        if not plan:
+            raise ValueError("plan must contain at least one core schedule")
+        indices = [s.core_index for s in plan]
+        if len(set(indices)) != len(indices):
+            raise ValueError("duplicate core_index in plan")
+        self.n_cores = max(indices) + 1
+        self._core_of: dict[int, int] = {}
+        self._lanes: list[deque[int]] = [deque() for _ in range(self.n_cores)]
+        self._tasks: dict[int, Task] = {}
+        for sched in plan:
+            for pl in sched.placements:
+                tid = pl.task.task_id
+                if tid in self._core_of:
+                    raise ValueError(f"task {tid} appears twice in the plan")
+                self._core_of[tid] = sched.core_index
+                self._lanes[sched.core_index].append(tid)
+                self._tasks[tid] = pl.task
+        self._arrived: set[int] = set()
+
+    # -- OnlinePolicy protocol --------------------------------------------------
+    def select_core(self, task: Task, views: Sequence[CoreView]) -> int:
+        try:
+            return self._core_of[task.task_id]
+        except KeyError:
+            raise ValueError(f"task {task.task_id} is not in the plan") from None
+
+    def enqueue_noninteractive(self, core: int, task: Task) -> None:
+        self._arrived.add(task.task_id)
+
+    def dequeue_noninteractive(self, core: int) -> Optional[Task]:
+        lane = self._lanes[core]
+        if lane and lane[0] in self._arrived:
+            tid = lane.popleft()
+            self._arrived.discard(tid)
+            return self._tasks[tid]
+        return None
+
+    def rate_for_noninteractive(self, core: int, task: Task) -> Optional[float]:
+        return None  # governor-controlled
+
+    def rate_for_interactive(self, core: int, task: Task) -> Optional[float]:
+        return None  # governor-controlled

@@ -1,0 +1,49 @@
+"""The On-demand baseline of Section V-B.
+
+"Since On-demand does not schedule tasks to core, we assign the
+arriving tasks to core in a round-robin fashion. In OLB and On-demand,
+interactive tasks have higher priority than non-interactive tasks.
+Tasks on a core with the same priority will be executed in a FIFO
+fashion."
+
+Frequencies are left entirely to the per-core ondemand governor — every
+rate method returns ``None`` — so pair this policy with
+``governors=[OnDemandGovernor(table), ...]`` in ``run_online``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.models.task import Task
+from repro.simulator.online_runner import CoreView
+
+
+class OnDemandRoundRobinScheduler:
+    """Round-robin placement; FIFO queues; governor-owned frequencies."""
+
+    def __init__(self, n_cores: int) -> None:
+        if n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        self.n_cores = n_cores
+        self._next = 0
+        self._queues: list[deque[Task]] = [deque() for _ in range(n_cores)]
+
+    def select_core(self, task: Task, views: Sequence[CoreView]) -> int:
+        j = self._next
+        self._next = (self._next + 1) % self.n_cores
+        return j
+
+    def enqueue_noninteractive(self, core: int, task: Task) -> None:
+        self._queues[core].append(task)
+
+    def dequeue_noninteractive(self, core: int) -> Optional[Task]:
+        q = self._queues[core]
+        return q.popleft() if q else None
+
+    def rate_for_noninteractive(self, core: int, task: Task) -> Optional[float]:
+        return None  # governor-controlled
+
+    def rate_for_interactive(self, core: int, task: Task) -> Optional[float]:
+        return None  # governor-controlled

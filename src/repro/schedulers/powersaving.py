@@ -1,0 +1,33 @@
+"""The "Power Saving" batch baseline (Section V-A3).
+
+Power Saving "restricts the frequency of a core to conserve energy"
+and is run with the ondemand governor over the lower half of the
+frequency menu — a fully loaded core therefore executes the whole
+batch at the restricted maximum (2.4 GHz on Table II). Task placement
+is the same load-balancing rule as OLB; only the frequency menu
+differs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.models.cost import CoreSchedule
+from repro.models.rates import RateTable
+from repro.models.task import Task
+from repro.schedulers.olb import olb_plan
+
+
+def power_saving_plan(
+    tasks: Iterable[Task],
+    table: RateTable,
+    n_cores: int,
+) -> list[CoreSchedule]:
+    """Batch plan at the lower-half frequency ceiling.
+
+    The returned placements carry rates from the *full* table (the
+    restricted maximum is a member of it), so the same platform
+    executes all three Figure 2 plans.
+    """
+    restricted = table.lower_half()
+    return olb_plan(tasks, table, n_cores, rate=restricted.max_rate)

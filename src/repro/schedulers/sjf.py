@@ -1,0 +1,82 @@
+"""Shortest-Job-First at maximum frequency — the decomposition baseline.
+
+Least Marginal Cost combines two mechanisms: (1) cost-aware *ordering*
+(each queue kept in Theorem 3's shortest-first order) and (2)
+positional *DVFS* (per-slot frequencies from the dominating ranges).
+This policy keeps mechanism (1) and drops (2) — SJF queues, everything
+at the core's maximum frequency — so the decomposition ablation can
+attribute LMC's Figure 3 win between ordering and frequency scaling:
+
+* OLB   = FIFO ordering + max frequency
+* SJF   = cost-aware ordering + max frequency      (this policy)
+* LMC   = cost-aware ordering + positional DVFS
+
+Placement follows OLB's earliest-ready rule (the placement dimension is
+held fixed so the comparison isolates ordering/DVFS).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional, Sequence
+
+from repro.models.rates import RateTable
+from repro.models.task import Task, TaskKind
+from repro.simulator.online_runner import CoreView
+
+
+class SJFMaxRateScheduler:
+    """Earliest-ready placement, shortest-job-first queues, max frequency."""
+
+    def __init__(self, tables: Sequence[RateTable] | RateTable, n_cores: int) -> None:
+        if n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        self.n_cores = n_cores
+        self._tables = (
+            [tables] * n_cores if isinstance(tables, RateTable) else list(tables)
+        )
+        if len(self._tables) != n_cores:
+            raise ValueError("need one rate table per core")
+        # sorted waiting lists: (cycles, task_id) keeps ties deterministic
+        self._queues: list[list[tuple[float, int, Task]]] = [
+            [] for _ in range(n_cores)
+        ]
+
+    def _seconds(self, j: int, cycles: float) -> float:
+        return cycles * self._tables[j].time(self._tables[j].max_rate)
+
+    def _ready_in(self, j: int, view: CoreView, kind: TaskKind) -> float:
+        ahead = view.interactive_backlog_cycles
+        if view.running_kind is TaskKind.INTERACTIVE:
+            ahead += view.running_remaining_cycles
+        if kind is TaskKind.INTERACTIVE:
+            return self._seconds(j, ahead)
+        ahead += view.preempted_remaining_cycles
+        if view.running_kind is TaskKind.NONINTERACTIVE:
+            ahead += view.running_remaining_cycles
+        ahead += sum(c for c, _, _ in self._queues[j])
+        return self._seconds(j, ahead)
+
+    # -- OnlinePolicy protocol --------------------------------------------------
+    def select_core(self, task: Task, views: Sequence[CoreView]) -> int:
+        return min(
+            range(self.n_cores),
+            key=lambda j: (self._ready_in(j, views[j], task.kind), j),
+        )
+
+    def enqueue_noninteractive(self, core: int, task: Task) -> None:
+        entry = (task.cycles, task.task_id, task)
+        q = self._queues[core]
+        q.insert(bisect.bisect(q, entry[:2], key=lambda e: (e[0], e[1])), entry)
+
+    def dequeue_noninteractive(self, core: int) -> Optional[Task]:
+        q = self._queues[core]
+        if not q:
+            return None
+        return q.pop(0)[2]
+
+    def rate_for_noninteractive(self, core: int, task: Task) -> Optional[float]:
+        return self._tables[core].max_rate
+
+    def rate_for_interactive(self, core: int, task: Task) -> Optional[float]:
+        return self._tables[core].max_rate

@@ -1,0 +1,39 @@
+"""Workload Based Greedy plan generator (thin wrapper over the core).
+
+The algorithm itself lives in :mod:`repro.core.batch_multi`; this
+module adapts it to the plan-generator signature shared by every batch
+baseline so the Figure 2 experiment can treat all three schedulers
+uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.batch_multi import WorkloadBasedGreedy
+from repro.models.cost import CoreSchedule, CostModel
+from repro.models.rates import RateTable
+from repro.models.task import Task
+
+
+def wbg_plan(
+    tasks: Iterable[Task],
+    table: RateTable | Sequence[RateTable],
+    n_cores: int,
+    re: float,
+    rt: float,
+) -> list[CoreSchedule]:
+    """Optimal batch plan via Workload Based Greedy (Algorithm 3).
+
+    ``table`` may be a single :class:`RateTable` (homogeneous platform)
+    or one per core (heterogeneous).
+    """
+    if n_cores < 1:
+        raise ValueError("n_cores must be >= 1")
+    if isinstance(table, RateTable):
+        models = [CostModel(table, re, rt) for _ in range(n_cores)]
+    else:
+        if len(table) != n_cores:
+            raise ValueError("need one rate table per core")
+        models = [CostModel(t, re, rt) for t in table]
+    return WorkloadBasedGreedy(models).schedule(tasks)

@@ -1,0 +1,112 @@
+"""Discrete-event simulation core.
+
+A :class:`Simulation` owns a clock and a priority queue of timestamped
+callbacks. Events at equal timestamps fire in schedule order (FIFO), so
+runs are fully deterministic. Callbacks may schedule further events and
+may cancel previously scheduled ones via the returned handle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Optional
+
+
+class EventHandle:
+    """Cancellation token for a scheduled event."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self.callback = None  # free references early
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:g}, {self.label!r}, {state})"
+
+
+class Simulation:
+    """Clock + event queue. Time is in seconds, starts at 0."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[EventHandle] = []
+        self._seq = itertools.count()
+        self._events_fired = 0
+
+    # -- scheduling -------------------------------------------------------------
+    def at(self, time: float, callback: Callable[[], None], label: str = "") -> EventHandle:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if math.isnan(time):
+            raise ValueError("event time is NaN")
+        if time < self.now - 1e-12:
+            raise ValueError(f"cannot schedule in the past: t={time} < now={self.now}")
+        handle = EventHandle(max(time, self.now), next(self._seq), callback, label)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def after(self, delay: float, callback: Callable[[], None], label: str = "") -> EventHandle:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.at(self.now + delay, callback, label)
+
+    # -- execution --------------------------------------------------------------
+    def run(self, until: float = math.inf, max_events: int = 50_000_000) -> None:
+        """Fire events in time order until the queue drains or ``until``.
+
+        Events scheduled exactly at ``until`` still fire; the clock
+        never advances past the last fired event (or ``until`` if
+        finite and events remain beyond it).
+        """
+        while self._queue:
+            head = self._queue[0]
+            if head.time > until:
+                self.now = until if not math.isinf(until) else self.now
+                return
+            heapq.heappop(self._queue)
+            if head.cancelled:
+                continue
+            self.now = head.time
+            self._events_fired += 1
+            if self._events_fired > max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events — runaway loop?")
+            callback = head.callback
+            assert callback is not None
+            callback()
+
+    def step(self) -> bool:
+        """Fire exactly one (non-cancelled) event. Returns False if drained."""
+        while self._queue:
+            head = heapq.heappop(self._queue)
+            if head.cancelled:
+                continue
+            self.now = head.time
+            self._events_fired += 1
+            callback = head.callback
+            assert callback is not None
+            callback()
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled queued events."""
+        return sum(1 for h in self._queue if not h.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired

@@ -1,0 +1,16 @@
+"""Data-structure substrates.
+
+* :mod:`repro.structures.rangetree` — the "1D range tree" of Section
+  IV-A: a balanced binary search tree (a treap) with order statistics,
+  subtree aggregates ``ξ`` (range sum) and ``Δ`` (offset-weighted range
+  sum), and doubly-linked predecessor/successor threading so boundary
+  pointers move in ``Θ(1)``.
+* :mod:`repro.structures.indexed_heap` — an addressable binary min-heap
+  used by Workload Based Greedy (Algorithm 3) to pick the core with the
+  smallest next positional cost.
+"""
+
+from repro.structures.rangetree import RangeTree, RangeTreeNode
+from repro.structures.indexed_heap import IndexedMinHeap
+
+__all__ = ["RangeTree", "RangeTreeNode", "IndexedMinHeap"]

@@ -1,0 +1,78 @@
+"""Table I — the SPEC2006int batch workload.
+
+The paper measures each of the 12 SPECint benchmarks (train and ref
+inputs) ten times at the lowest frequency (1.6 GHz), averages the
+runtimes, and estimates cycle demand as ``time × frequency``. Table I
+reports those averages in seconds; we hard-code them and apply the same
+conversion, so the batch experiments consume exactly the cycle counts
+the authors derived.
+
+Cycle unit convention: rates are in GHz throughout this library, so one
+"cycle" here is 10⁹ hardware cycles (``T(p) = 1/p`` seconds per
+Gcycle), matching :data:`repro.models.rates.TABLE_II`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.task import Task, TaskSet
+
+#: Frequency at which Table I's runtimes were measured (GHz).
+MEASUREMENT_RATE_GHZ = 1.6
+
+
+@dataclass(frozen=True)
+class SpecWorkload:
+    """One Table I row: a benchmark with its train/ref mean runtimes (s)."""
+
+    benchmark: str
+    train_seconds: float
+    ref_seconds: float
+
+    def cycles(self, which: str) -> float:
+        """Gcycles for input set ``which`` ("train" or "ref")."""
+        seconds = {"train": self.train_seconds, "ref": self.ref_seconds}[which]
+        return seconds * MEASUREMENT_RATE_GHZ
+
+
+#: Table I verbatim (average execution times in seconds).
+SPEC_TABLE_I: tuple[SpecWorkload, ...] = (
+    SpecWorkload("perlbench", 43.516, 749.624),
+    SpecWorkload("bzip", 98.683, 1297.587),
+    SpecWorkload("gcc", 1.63, 552.611),
+    SpecWorkload("mcf", 17.568, 397.782),
+    SpecWorkload("gobmk", 189.218, 993.54),
+    SpecWorkload("hmmer", 109.44, 1106.88),
+    SpecWorkload("sjeng", 224.398, 1074.126),
+    SpecWorkload("libquantum", 5.146, 1092.185),
+    SpecWorkload("h264ref", 218.285, 1549.734),
+    SpecWorkload("omnetpp", 108.661, 439.393),
+    SpecWorkload("astar", 191.073, 880.951),
+    SpecWorkload("xalancbmk", 142.344, 453.463),
+)
+
+
+def spec_cycles() -> dict[str, float]:
+    """All 24 workloads as ``{"bench/input": Gcycles}``."""
+    out: dict[str, float] = {}
+    for w in SPEC_TABLE_I:
+        out[f"{w.benchmark}/train"] = w.cycles("train")
+        out[f"{w.benchmark}/ref"] = w.cycles("ref")
+    return out
+
+
+def spec_tasks(inputs: str = "both") -> TaskSet:
+    """The Table I batch as a :class:`TaskSet`.
+
+    ``inputs`` selects "train", "ref", or "both" (the 24-task batch the
+    paper's Section V-A experiments use).
+    """
+    if inputs not in ("train", "ref", "both"):
+        raise ValueError('inputs must be "train", "ref", or "both"')
+    which = ["train", "ref"] if inputs == "both" else [inputs]
+    return TaskSet(
+        Task(cycles=w.cycles(k), name=f"{w.benchmark}/{k}")
+        for w in SPEC_TABLE_I
+        for k in which
+    )

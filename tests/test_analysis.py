@@ -1,0 +1,130 @@
+"""Tests for metrics, reporting, and model verification."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    NormalizedCost,
+    improvement_summary,
+    normalize_costs,
+    percent_change,
+)
+from repro.analysis.reporting import (
+    format_table,
+    render_cost_breakdown,
+    render_cost_comparison,
+    render_table_i,
+    render_table_ii,
+)
+from repro.analysis.verification import verify_model
+from repro.models.cost import CostModel, ScheduleCost
+from repro.models.rates import TABLE_II, TABLE_II_VERIFICATION
+from repro.schedulers import wbg_plan
+from repro.simulator.contention import CALIBRATED_X86, ContentionModel
+from repro.workloads.spec import SPEC_TABLE_I, spec_tasks
+
+
+def cost(e, t):
+    return ScheduleCost(
+        energy_cost=e, temporal_cost=t, energy_joules=e, busy_seconds=t,
+        makespan=t, turnaround_sum=t, task_count=1,
+    )
+
+
+class TestMetrics:
+    def test_normalize_reference_is_one(self):
+        costs = {"A": cost(10.0, 20.0), "B": cost(5.0, 40.0)}
+        norm = normalize_costs(costs, "A")
+        assert norm["A"].time == 1.0 and norm["A"].energy == 1.0 and norm["A"].total == 1.0
+        assert norm["B"].energy == pytest.approx(0.5)
+        assert norm["B"].time == pytest.approx(2.0)
+        assert norm["B"].total == pytest.approx(45.0 / 30.0)
+
+    def test_normalize_missing_reference(self):
+        with pytest.raises(KeyError):
+            normalize_costs({"A": cost(1.0, 1.0)}, "Z")
+
+    def test_normalize_zero_reference_component(self):
+        bad = ScheduleCost(0.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            normalize_costs({"A": bad}, "A")
+
+    def test_percent_change(self):
+        assert percent_change(54.0, 100.0) == pytest.approx(-46.0)
+        assert percent_change(104.0, 100.0) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            percent_change(1.0, 0.0)
+
+    def test_improvement_summary(self):
+        costs = {"ours": cost(5.0, 10.0), "base": cost(10.0, 8.0)}
+        d = improvement_summary(costs, "ours", "base")
+        assert d["energy_pct"] == pytest.approx(-50.0)
+        assert d["time_pct"] == pytest.approx(25.0)
+        assert d["total_pct"] == pytest.approx(100 * (15.0 - 18.0) / 18.0)
+
+    def test_normalized_cost_iter(self):
+        n = NormalizedCost("x", 1.0, 2.0, 3.0)
+        assert list(n) == [1.0, 2.0, 3.0]
+
+
+class TestReporting:
+    def test_format_table_alignment_and_floats(self):
+        out = format_table(["name", "value"], [("a", 1.23456), ("bb", 2)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in out  # 4 significant digits
+        assert "name" in lines[1] and "value" in lines[1]
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [("x",)])
+
+    def test_render_table_i_contains_all_benchmarks(self):
+        out = render_table_i(SPEC_TABLE_I)
+        for w in SPEC_TABLE_I:
+            assert w.benchmark in out
+        assert "749.6" in out  # perlbench ref
+
+    def test_render_table_ii(self):
+        out = render_table_ii(TABLE_II)
+        assert "3.375" in out and "0.33" in out
+
+    def test_render_cost_comparison_marks_reference(self):
+        norm = {
+            "WBG": NormalizedCost("WBG", 1.0, 1.0, 1.0),
+            "OLB": NormalizedCost("OLB", 1.02, 1.7, 1.38),
+        }
+        out = render_cost_comparison(norm, "WBG", "FIG")
+        assert "WBG (ref)" in out
+        assert "1.38" in out
+
+    def test_render_cost_breakdown(self):
+        out = render_cost_breakdown({"X": cost(3.0, 4.0)}, "raw")
+        assert "X" in out and "Joules" in out
+
+
+class TestVerification:
+    def test_fig1_gap_positive_and_single_digit(self, table_verif):
+        tasks = spec_tasks()
+        model = CostModel(table_verif, 0.1, 0.4)
+        plan = wbg_plan(tasks, table_verif, 4, 0.1, 0.4)
+        report = verify_model(plan, model)
+        assert 0.0 < report.total_gap < 0.15  # paper: ≈ +8%
+        assert report.energy_gap > 0
+        assert report.time_gap > 0
+
+    def test_no_contention_means_no_gap(self, table_verif):
+        tasks = spec_tasks()
+        model = CostModel(table_verif, 0.1, 0.4)
+        plan = wbg_plan(tasks, table_verif, 4, 0.1, 0.4)
+        report = verify_model(plan, model, contention=ContentionModel())
+        assert report.total_gap == pytest.approx(0.0, abs=1e-9)
+
+    def test_gap_scales_with_contention(self, table_verif):
+        tasks = spec_tasks()
+        model = CostModel(table_verif, 0.1, 0.4)
+        plan = wbg_plan(tasks, table_verif, 4, 0.1, 0.4)
+        mild = verify_model(plan, model, contention=ContentionModel(
+            slowdown_per_corunner=0.01))
+        harsh = verify_model(plan, model, contention=ContentionModel(
+            slowdown_per_corunner=0.05))
+        assert harsh.total_gap > mild.total_gap > 0

@@ -1,0 +1,107 @@
+"""Tests for the JSON results export."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    batch_result_dict,
+    comparison_dict,
+    online_result_dict,
+    read_json,
+    schedule_cost_dict,
+    verification_dict,
+    write_json,
+)
+from repro.analysis.verification import verify_model
+from repro.models.cost import CostModel
+from repro.models.rates import TABLE_II, TABLE_II_VERIFICATION
+from repro.models.task import Task, TaskKind
+from repro.schedulers import LMCOnlineScheduler, olb_plan, wbg_plan
+from repro.simulator import run_batch, run_online
+from repro.workloads import spec_tasks
+
+
+@pytest.fixture(scope="module")
+def batch_result():
+    tasks = [Task(cycles=float(c)) for c in (10, 30, 5)]
+    return run_batch(wbg_plan(tasks, TABLE_II, 2, 0.1, 0.4), TABLE_II)
+
+
+@pytest.fixture(scope="module")
+def online_result():
+    trace = [Task(cycles=5.0, arrival=float(i), kind=TaskKind.NONINTERACTIVE)
+             for i in range(4)]
+    return run_online(trace, LMCOnlineScheduler(TABLE_II, 2, 0.4, 0.1), TABLE_II)
+
+
+class TestDictShapes:
+    def test_schedule_cost_roundtrips_numbers(self, batch_result):
+        cost = batch_result.cost(0.1, 0.4)
+        d = schedule_cost_dict(cost)
+        assert d["total_cost"] == pytest.approx(cost.total_cost)
+        assert d["task_count"] == 3
+
+    def test_batch_result_payload(self, batch_result):
+        d = batch_result_dict(batch_result)
+        assert d["kind"] == "batch_result"
+        assert d["schema"] == 1
+        assert len(d["records"]) == 3
+        rec = d["records"][0]
+        assert {"task_id", "core", "rate", "start", "finish"} <= set(rec)
+        # records optional
+        slim = batch_result_dict(batch_result, include_records=False)
+        assert "records" not in slim
+
+    def test_online_result_payload(self, online_result):
+        d = online_result_dict(online_result, include_records=True)
+        assert d["kind"] == "online_result"
+        assert d["task_count"] == 4
+        assert d["records"][0]["kind"] == "noninteractive"
+
+    def test_comparison_payload(self):
+        tasks = spec_tasks("train")
+        costs = {
+            "WBG": run_batch(wbg_plan(tasks, TABLE_II, 2, 0.1, 0.4), TABLE_II).cost(0.1, 0.4),
+            "OLB": run_batch(olb_plan(tasks, TABLE_II, 2), TABLE_II).cost(0.1, 0.4),
+        }
+        d = comparison_dict(costs, "WBG", title="fig2")
+        assert d["reference"] == "WBG"
+        assert d["schedulers"]["WBG"]["normalized"]["total"] == 1.0
+        assert d["schedulers"]["OLB"]["normalized"]["total"] > 1.0
+
+    def test_verification_payload(self):
+        tasks = spec_tasks("train")
+        model = CostModel(TABLE_II_VERIFICATION, 0.1, 0.4)
+        plan = wbg_plan(tasks, TABLE_II_VERIFICATION, 2, 0.1, 0.4)
+        d = verification_dict(verify_model(plan, model))
+        assert d["total_gap"] > 0
+        assert d["sim"]["total_cost"] < d["exp"]["total_cost"]
+
+
+class TestFileIO:
+    def test_write_read_roundtrip(self, batch_result, tmp_path):
+        d = batch_result_dict(batch_result)
+        path = tmp_path / "out.json"
+        write_json(d, path)
+        back = read_json(path)
+        assert back == json.loads(json.dumps(d))  # tuple→list normalisation
+
+    def test_json_is_valid_and_sorted(self, batch_result, tmp_path):
+        path = tmp_path / "out.json"
+        write_json(batch_result_dict(batch_result), path)
+        text = path.read_text()
+        payload = json.loads(text)
+        assert list(payload) == sorted(payload)
+
+    def test_read_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="not a repro result"):
+            read_json(path)
+
+    def test_read_rejects_future_schema(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"schema": 999, "kind": "batch_result"}')
+        with pytest.raises(ValueError, match="newer"):
+            read_json(path)

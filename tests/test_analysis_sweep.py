@@ -1,0 +1,84 @@
+"""Tests for the parameter-sweep framework."""
+
+import pytest
+
+from repro.analysis.sweep import SweepPoint, SweepResult, grid, run_sweep
+from repro.models.cost import ScheduleCost
+
+
+def cost(total_energy, total_time):
+    return ScheduleCost(
+        energy_cost=total_energy, temporal_cost=total_time,
+        energy_joules=total_energy, busy_seconds=total_time,
+        makespan=total_time, turnaround_sum=total_time, task_count=1,
+    )
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        g = grid(a=[1, 2], b=["x", "y", "z"])
+        assert len(g) == 6
+        assert {"a": 1, "b": "x"} in g
+        assert {"a": 2, "b": "z"} in g
+
+    def test_empty_grid(self):
+        assert grid() == [{}]
+
+    def test_single_axis(self):
+        assert grid(n=[3, 4]) == [{"n": 3}, {"n": 4}]
+
+    def test_deterministic_order(self):
+        assert grid(b=[1], a=[2]) == grid(b=[1], a=[2])
+
+
+class TestRunSweep:
+    def test_runs_every_cell(self):
+        calls = []
+
+        def experiment(n):
+            calls.append(n)
+            return {"A": cost(10.0 * n, 5.0), "B": cost(20.0 * n, 4.0)}
+
+        result = run_sweep(grid(n=[1, 2, 3]), experiment)
+        assert calls == [1, 2, 3]
+        assert len(result) == 3
+
+    def test_rejects_empty_experiment(self):
+        with pytest.raises(ValueError, match="no costs"):
+            run_sweep([{}], lambda: {})
+
+    def test_point_accessors(self):
+        def experiment(n):
+            return {"A": cost(10.0, 5.0), "B": cost(20.0, 4.0)}
+
+        result = run_sweep(grid(n=[7]), experiment)
+        p = result.points[0]
+        assert p.config_dict() == {"n": 7}
+        d = p.improvement("A", "B")
+        assert d["energy_pct"] == pytest.approx(-50.0)
+
+
+class TestSeries:
+    @pytest.fixture
+    def result(self):
+        def experiment(n):
+            # A's advantage grows with n
+            return {"A": cost(100.0 - 10.0 * n, 10.0), "B": cost(100.0, 10.0)}
+
+        return run_sweep(grid(n=[3, 1, 2]), experiment)
+
+    def test_series_sorted_by_axis(self, result):
+        series = result.series("n", "A", "B")
+        assert [x for x, _ in series] == [1, 2, 3]
+        margins = [m for _, m in series]
+        assert margins == sorted(margins, reverse=True)
+
+    def test_unknown_axis(self, result):
+        with pytest.raises(KeyError):
+            result.series("zzz", "A", "B")
+
+    def test_table_rows(self, result):
+        rows = result.table_rows("A", ["B"])
+        assert len(rows) == 3
+        assert all(r[0].startswith("n=") for r in rows)
+        assert all(r[1].endswith("%") for r in rows)

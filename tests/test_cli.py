@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.re == 0.1 and args.rt == 0.4 and args.cores == 4
+        args = build_parser().parse_args(["fig3"])
+        assert args.re == 0.4 and args.rt == 0.1 and args.seed == 2014
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "perlbench" in out and "xalancbmk" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "3.375" in out and "E(p_k)" in out
+
+    def test_ranges(self, capsys):
+        assert main(["ranges"]) == 0
+        out = capsys.readouterr().out
+        assert "1.6 GHz" in out and "3 GHz" in out
+
+    def test_ranges_custom_pricing(self, capsys):
+        assert main(["ranges", "--re", "0.4", "--rt", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Re=0.4" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Sim" in out and "Exp" in out and "gap %" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2", "--cores", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "WBG (ref)" in out and "OLB" in out and "PS" in out
+        assert "paper:" in out
+
+    def test_batch(self, capsys):
+        assert main(["batch", "10", "50", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "job0" in out and "total cost" in out
+
+    def test_batch_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "ten"])
+
+    def test_gantt(self, capsys):
+        assert main(["gantt", "40", "10", "90", "--cores", "2", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "core 0 |" in out and "core 1 |" in out
+        assert "tasks:" in out
+
+    def test_frontier(self, capsys):
+        assert main(["frontier", "30", "12", "50", "--points", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "Energy (J)" in out
+
+    def test_trace_jsonl(self, capsys, tmp_path):
+        out_path = str(tmp_path / "t.jsonl")
+        assert main([
+            "trace", "--interactive", "20", "--noninteractive", "5",
+            "--duration", "30", out_path,
+        ]) == 0
+        from repro.workloads import load_trace_jsonl
+
+        loaded = load_trace_jsonl(out_path)
+        assert len(loaded) == 25
+
+    def test_trace_csv(self, tmp_path):
+        out_path = str(tmp_path / "t.csv")
+        assert main([
+            "trace", "--interactive", "5", "--noninteractive", "2",
+            "--duration", "10", out_path,
+        ]) == 0
+        from repro.workloads import load_trace_csv
+
+        assert len(load_trace_csv(out_path)) == 7
+
+    def test_trace_bad_extension(self, tmp_path):
+        assert main(["trace", "--interactive", "1", "--noninteractive", "1",
+                     str(tmp_path / "t.txt")]) == 2

@@ -1,0 +1,192 @@
+"""Tests for Theorems 1-2: NP-completeness reductions and exact solvers."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.deadline import (
+    DeadlineInstance,
+    REDUCTION_TABLE,
+    partition_to_deadline_multi_core,
+    partition_to_deadline_single_core,
+    solve_deadline_multi_core,
+    solve_deadline_single_core,
+    solve_partition_bruteforce,
+    verify_solution,
+)
+from repro.models.rates import RateTable
+from repro.models.task import Task
+
+
+def partition_solvable(values):
+    total = sum(values)
+    if total % 2:
+        return False
+    target = total // 2
+    return any(
+        sum(c) == target
+        for r in range(len(values) + 1)
+        for c in itertools.combinations(values, r)
+    )
+
+
+class TestPartitionBruteforce:
+    def test_classic_yes_instance(self):
+        subset = solve_partition_bruteforce([3, 1, 1, 2, 2, 1])
+        assert subset is not None
+        values = [3, 1, 1, 2, 2, 1]
+        assert sum(values[i] for i in subset) == sum(values) // 2
+
+    def test_odd_total_is_no(self):
+        assert solve_partition_bruteforce([1, 2]) is None
+
+    def test_even_total_but_unsplittable(self):
+        assert solve_partition_bruteforce([1, 1, 4]) is None
+
+    @given(st.lists(st.integers(1, 12), min_size=1, max_size=8))
+    def test_matches_exhaustive(self, values):
+        got = solve_partition_bruteforce(values)
+        expect = partition_solvable(values)
+        assert (got is not None) == expect
+        if got is not None:
+            assert sum(values[i] for i in got) == sum(values) // 2
+
+
+class TestReductionGadget:
+    def test_gadget_parameters_match_proof(self):
+        # T(pl)=2, T(ph)=1, E(pl)=1, E(ph)=4, ph twice pl
+        assert REDUCTION_TABLE.time(0.5) == 2.0
+        assert REDUCTION_TABLE.time(1.0) == 1.0
+        assert REDUCTION_TABLE.energy(0.5) == 1.0
+        assert REDUCTION_TABLE.energy(1.0) == 4.0
+
+    def test_single_core_instance_shape(self):
+        inst = partition_to_deadline_single_core([2, 3, 5])
+        s = 10.0
+        assert len(inst.tasks) == 3
+        assert all(t.deadline == pytest.approx(1.5 * s) for t in inst.tasks)
+        assert inst.energy_budget == pytest.approx(2.5 * s)
+        assert inst.n_cores == 1
+
+    def test_multi_core_instance_shape(self):
+        inst = partition_to_deadline_multi_core([2, 3, 5])
+        assert inst.n_cores == 2
+        assert all(t.deadline == pytest.approx(5.0) for t in inst.tasks)
+        assert math.isinf(inst.energy_budget)
+
+    def test_rejects_bad_partition_input(self):
+        with pytest.raises(ValueError):
+            partition_to_deadline_single_core([])
+        with pytest.raises(ValueError):
+            partition_to_deadline_single_core([1, -2])
+        with pytest.raises(ValueError):
+            partition_to_deadline_multi_core([0])
+
+
+class TestTheorem1Equivalence:
+    """Partition solvable ⇔ constructed Deadline-SingleCore feasible."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(1, 10), min_size=1, max_size=7))
+    def test_equivalence(self, values):
+        inst = partition_to_deadline_single_core(values)
+        sol = solve_deadline_single_core(inst)
+        assert (sol is not None) == partition_solvable(values)
+        if sol is not None:
+            assert verify_solution(inst, sol)
+
+    def test_known_yes(self):
+        inst = partition_to_deadline_single_core([1, 1, 2])  # {1,1} vs {2}
+        sol = solve_deadline_single_core(inst)
+        assert sol is not None
+        # the witness splits cycles evenly between the two speeds
+        high = sum(t.cycles for t, p in zip(sol.order, sol.rates) if p == 1.0)
+        low = sum(t.cycles for t, p in zip(sol.order, sol.rates) if p == 0.5)
+        assert high == pytest.approx(low)
+
+    def test_known_no(self):
+        inst = partition_to_deadline_single_core([1, 2])  # odd total
+        assert solve_deadline_single_core(inst) is None
+
+
+class TestTheorem2Equivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(1, 8), min_size=1, max_size=6))
+    def test_equivalence(self, values):
+        inst = partition_to_deadline_multi_core(values)
+        sol = solve_deadline_multi_core(inst)
+        assert (sol is not None) == partition_solvable(values)
+        if sol is not None:
+            assert verify_solution(inst, sol)
+
+
+class TestGeneralSolver:
+    def test_edf_with_mixed_deadlines(self):
+        table = RateTable([1.0, 2.0], [1.0, 4.0])
+        tasks = (
+            Task(cycles=4.0, deadline=3.0),  # must run fast
+            Task(cycles=4.0, deadline=20.0),  # can run slow
+        )
+        inst = DeadlineInstance(tasks=tasks, table=table, energy_budget=100.0)
+        sol = solve_deadline_single_core(inst)
+        assert sol is not None
+        assert verify_solution(inst, sol)
+        # tight-deadline task is first (EDF) and at high speed
+        assert sol.order[0].deadline == 3.0
+        assert sol.rates[0] == 2.0
+
+    def test_energy_budget_can_forbid(self):
+        table = RateTable([1.0, 2.0], [1.0, 4.0])
+        tasks = (Task(cycles=4.0, deadline=3.0),)
+        feasible = DeadlineInstance(tasks=tasks, table=table, energy_budget=16.0)
+        assert solve_deadline_single_core(feasible) is not None
+        starved = DeadlineInstance(tasks=tasks, table=table, energy_budget=15.0)
+        assert solve_deadline_single_core(starved) is None
+
+    def test_impossible_deadline(self):
+        table = RateTable([1.0], [1.0])
+        tasks = (Task(cycles=10.0, deadline=5.0),)
+        inst = DeadlineInstance(tasks=tasks, table=table, energy_budget=math.inf)
+        assert solve_deadline_single_core(inst) is None
+
+    def test_solver_picks_minimum_energy_witness(self):
+        table = RateTable([1.0, 2.0], [1.0, 4.0])
+        tasks = (Task(cycles=2.0, deadline=100.0),)
+        inst = DeadlineInstance(tasks=tasks, table=table, energy_budget=math.inf)
+        sol = solve_deadline_single_core(inst)
+        assert sol is not None
+        assert sol.rates == (1.0,)  # slow speed suffices and is cheapest
+        assert sol.total_energy == pytest.approx(2.0)
+
+    def test_multi_core_guard(self):
+        inst = partition_to_deadline_multi_core([1] * 4)
+        with pytest.raises(ValueError, match="limited"):
+            solve_deadline_multi_core(inst, max_tasks=3)
+
+    def test_single_core_solver_rejects_multicore_instance(self):
+        inst = partition_to_deadline_multi_core([1, 1])
+        with pytest.raises(ValueError):
+            solve_deadline_single_core(inst)
+
+    def test_verify_solution_rejects_corrupt_witness(self):
+        inst = partition_to_deadline_single_core([1, 1])
+        sol = solve_deadline_single_core(inst)
+        assert sol is not None
+        from dataclasses import replace
+
+        bad_rate = replace(sol, rates=(9.9,) * len(sol.rates))
+        assert not verify_solution(inst, bad_rate)
+        bad_core = replace(sol, cores=(5,) * len(sol.cores))
+        assert not verify_solution(inst, bad_core)
+
+
+class TestInstanceValidation:
+    def test_rejects_bad_cores_and_budget(self):
+        table = RateTable([1.0], [1.0])
+        t = (Task(cycles=1.0, deadline=5.0),)
+        with pytest.raises(ValueError):
+            DeadlineInstance(tasks=t, table=table, energy_budget=1.0, n_cores=0)
+        with pytest.raises(ValueError):
+            DeadlineInstance(tasks=t, table=table, energy_budget=-1.0)

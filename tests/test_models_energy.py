@@ -1,0 +1,144 @@
+"""Tests for the energy model (Section II-C, Equations 1-2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from conftest import rate_tables
+from repro.models.energy import EnergyLedger, EnergyModel, PowerLawEnergy
+from repro.models.rates import TABLE_II
+
+
+class TestEnergyModel:
+    def test_equation_1_energy(self):
+        m = EnergyModel(TABLE_II)
+        # e = L·E(p)
+        assert m.task_energy(100.0, 1.6) == pytest.approx(337.5)
+        assert m.task_energy(100.0, 3.0) == pytest.approx(710.0)
+
+    def test_equation_2_time(self):
+        m = EnergyModel(TABLE_II)
+        # t = L·T(p)
+        assert m.task_time(100.0, 1.6) == pytest.approx(62.5)
+        assert m.task_time(100.0, 3.0) == pytest.approx(33.0)
+
+    def test_zero_cycles_cost_nothing(self):
+        m = EnergyModel(TABLE_II)
+        assert m.task_energy(0.0, 2.0) == 0.0
+        assert m.task_time(0.0, 2.0) == 0.0
+
+    def test_negative_cycles_rejected(self):
+        m = EnergyModel(TABLE_II)
+        with pytest.raises(ValueError):
+            m.task_energy(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            m.task_time(-1.0, 2.0)
+
+    def test_negative_idle_power_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(TABLE_II, idle_power=-0.1)
+
+    def test_segmented_equals_sum_of_parts(self):
+        m = EnergyModel(TABLE_II)
+        segs = [(10.0, 1.6), (20.0, 3.0), (5.0, 2.4)]
+        assert m.segmented_energy(segs) == pytest.approx(
+            sum(m.task_energy(c, p) for c, p in segs)
+        )
+        assert m.segmented_time(segs) == pytest.approx(
+            sum(m.task_time(c, p) for c, p in segs)
+        )
+
+    def test_cycles_in_inverts_task_time(self):
+        m = EnergyModel(TABLE_II)
+        t = m.task_time(42.0, 2.8)
+        assert m.cycles_in(t, 2.8) == pytest.approx(42.0)
+
+    def test_idle_energy(self):
+        m = EnergyModel(TABLE_II, idle_power=30.0)
+        assert m.idle_energy(10.0) == pytest.approx(300.0)
+        with pytest.raises(ValueError):
+            m.idle_energy(-1.0)
+
+    @given(rate_tables(), st.floats(0.0, 1e6))
+    def test_faster_rate_never_cheaper_energy_nor_slower(self, table, cycles):
+        m = EnergyModel(table)
+        energies = [m.task_energy(cycles, p) for p in table.rates]
+        times = [m.task_time(cycles, p) for p in table.rates]
+        assert energies == sorted(energies)
+        assert times == sorted(times, reverse=True)
+
+
+class TestPowerLawEnergy:
+    def test_cubic_power_gives_square_energy(self):
+        p = PowerLawEnergy(coefficient=2.0, alpha=3.0)
+        assert p.energy_per_cycle(3.0) == pytest.approx(18.0)  # 2·3²
+        assert p.power(3.0) == pytest.approx(54.0)  # 2·3³
+        assert p.time_per_cycle(4.0) == pytest.approx(0.25)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PowerLawEnergy(coefficient=0.0)
+        with pytest.raises(ValueError):
+            PowerLawEnergy(alpha=1.0)
+        p = PowerLawEnergy()
+        with pytest.raises(ValueError):
+            p.energy_per_cycle(0.0)
+        with pytest.raises(ValueError):
+            p.time_per_cycle(-1.0)
+
+    def test_optimal_rate_is_stationary_point(self):
+        p = PowerLawEnergy(coefficient=1.5, alpha=3.0)
+        re, rt, behind = 0.3, 0.7, 4
+        star = p.optimal_rate(re, rt, behind)
+
+        def cost(rate):
+            m = behind + 1
+            return re * p.energy_per_cycle(rate) + m * rt * p.time_per_cycle(rate)
+
+        # a genuine minimum: perturbing in either direction costs more
+        assert cost(star) <= cost(star * 1.01)
+        assert cost(star) <= cost(star * 0.99)
+
+    def test_optimal_rate_grows_with_queue(self):
+        p = PowerLawEnergy()
+        rates = [p.optimal_rate(1.0, 1.0, n) for n in range(6)]
+        assert rates == sorted(rates)
+        assert rates[0] < rates[-1]
+
+    def test_optimal_rate_validation(self):
+        p = PowerLawEnergy()
+        with pytest.raises(ValueError):
+            p.optimal_rate(0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            p.optimal_rate(1.0, 1.0, -1)
+
+    def test_discretize_produces_consistent_table(self):
+        p = PowerLawEnergy(coefficient=0.5, alpha=3.0)
+        t = p.discretize([1.0, 2.0, 3.0])
+        for rate in t.rates:
+            assert t.energy(rate) == pytest.approx(p.energy_per_cycle(rate))
+            assert t.time(rate) == pytest.approx(p.time_per_cycle(rate))
+
+    @given(st.floats(1.1, 4.0), st.integers(0, 20))
+    def test_optimal_rate_positive_for_all_alphas(self, alpha, behind):
+        p = PowerLawEnergy(alpha=alpha)
+        assert p.optimal_rate(0.5, 2.0, behind) > 0
+
+
+class TestEnergyLedger:
+    def test_accumulates_and_merges(self):
+        a = EnergyLedger()
+        a.add_busy(10.0)
+        a.add_idle(3.0)
+        b = EnergyLedger()
+        b.add_busy(5.0)
+        a.merge(b)
+        assert a.net_joules == pytest.approx(15.0)
+        assert a.idle_joules == pytest.approx(3.0)
+        assert a.gross_joules == pytest.approx(18.0)
+
+    def test_rejects_negative_increments(self):
+        led = EnergyLedger()
+        with pytest.raises(ValueError):
+            led.add_busy(-1.0)
+        with pytest.raises(ValueError):
+            led.add_idle(-1.0)

@@ -1,0 +1,116 @@
+"""Online mode on heterogeneous platforms + open-loop workloads.
+
+Section IV assumption (1): "The system can be a homogeneous or a
+heterogeneous multi-core system." These tests exercise the
+heterogeneous paths of LMC and the runner, and the neutral open-loop
+trace generator.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.cost import CostModel
+from repro.models.rates import TABLE_II, rate_table_from_power_law
+from repro.models.task import Task, TaskKind
+from repro.schedulers import LMCOnlineScheduler, OLBOnlineScheduler
+from repro.simulator import run_online
+from repro.workloads import generate_open_loop_trace
+from repro.workloads.trace import trace_summary
+
+LITTLE = rate_table_from_power_law(
+    [0.6, 0.9, 1.2, 1.5], dynamic_coefficient=0.25, name="little"
+)
+
+
+def het_tables():
+    return [TABLE_II, TABLE_II, LITTLE, LITTLE]
+
+
+class TestOpenLoopTrace:
+    def test_counts_and_window(self):
+        trace = generate_open_loop_trace(120.0, interactive_per_s=2.0,
+                                         noninteractive_per_s=0.5, seed=4)
+        s = trace_summary(trace)
+        # Poisson counts near rate × duration
+        assert 160 < s.n_interactive < 320
+        assert 30 < s.n_noninteractive < 95
+        assert all(0 <= t.arrival < 120.0 for t in trace)
+
+    def test_sorted_and_deterministic(self):
+        a = generate_open_loop_trace(60.0, 1.0, 0.2, seed=9)
+        b = generate_open_loop_trace(60.0, 1.0, 0.2, seed=9)
+        assert [(t.arrival, t.cycles) for t in a] == [(t.arrival, t.cycles) for t in b]
+        arrivals = [t.arrival for t in a]
+        assert arrivals == sorted(arrivals)
+
+    def test_zero_rates(self):
+        assert generate_open_loop_trace(60.0, 0.0, 0.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_open_loop_trace(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            generate_open_loop_trace(60.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            generate_open_loop_trace(60.0, 1.0, 1.0, noninteractive_median=0.0)
+
+
+class TestHeterogeneousLMC:
+    def test_rates_stay_within_each_cores_menu(self):
+        trace = generate_open_loop_trace(60.0, 1.0, 0.8, seed=2)
+        tables = het_tables()
+        lmc = LMCOnlineScheduler(tables, 4, 0.4, 0.1)
+        res = run_online(trace, lmc, tables)
+        assert len(res.records) == len(trace)
+        for rec in res.records:
+            table = tables[rec.core]
+            # energy per cycle bounded by this core's own menu extremes
+            emin = table.energy(table.min_rate)
+            emax = table.energy(table.max_rate)
+            per_cycle = rec.energy_joules / rec.task.cycles
+            assert emin - 1e-9 <= per_cycle <= emax + 1e-9
+
+    def test_interactive_prefers_fast_cheap_core(self):
+        # an interactive task on an idle heterogeneous platform goes to the
+        # core with the lowest Eq. 27 value (compare big vs little directly)
+        tables = het_tables()
+        lmc = LMCOnlineScheduler(tables, 4, 0.4, 0.1)
+        trace = [Task(cycles=0.01, arrival=0.0, kind=TaskKind.INTERACTIVE)]
+        res = run_online(trace, lmc, tables)
+        big = CostModel(TABLE_II, 0.4, 0.1).interactive_marginal_cost(0.01, 0)
+        little = CostModel(LITTLE, 0.4, 0.1).interactive_marginal_cost(0.01, 0)
+        expected_family = {0, 1} if big < little else {2, 3}
+        assert res.records[0].core in expected_family
+
+    def test_olb_heterogeneous_ready_times(self):
+        tables = het_tables()
+        olb = OLBOnlineScheduler(tables, 4)
+        trace = [Task(cycles=30.0, arrival=0.0, kind=TaskKind.NONINTERACTIVE)]
+        res = run_online(trace, olb, tables)
+        # OLB estimates ready time at each core's own max rate; an idle big
+        # core and an idle little core tie at zero → lowest index wins
+        assert res.records[0].core == 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_heterogeneous_runs_complete(self, seed):
+        trace = generate_open_loop_trace(30.0, 2.0, 0.6, seed=seed)
+        tables = het_tables()
+        lmc = LMCOnlineScheduler(tables, 4, 0.4, 0.1)
+        res = run_online(trace, lmc, tables)
+        assert len(res.records) == len(trace)
+        for rec in res.records:
+            assert rec.finish >= rec.first_start >= rec.task.arrival
+
+
+class TestHeterogeneousBeatsMismatchedHomogeneous:
+    def test_lmc_het_beats_little_only(self):
+        """Adding big cores to a little platform must not hurt."""
+        trace = generate_open_loop_trace(60.0, 1.0, 1.2, seed=8)
+        het = run_online(
+            trace, LMCOnlineScheduler(het_tables(), 4, 0.4, 0.1), het_tables()
+        ).cost(0.4, 0.1)
+        little_only = run_online(
+            trace, LMCOnlineScheduler([LITTLE] * 2, 2, 0.4, 0.1), [LITTLE] * 2
+        ).cost(0.4, 0.1)
+        assert het.total_cost < little_only.total_cost

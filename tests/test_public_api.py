@@ -1,0 +1,41 @@
+"""Tests for the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_docstring_quickstart_runs(self):
+        """The example in the package docstring must actually work."""
+        from repro import CostModel, TABLE_II, spec_tasks, wbg_plan, run_batch
+
+        tasks = spec_tasks()
+        CostModel(TABLE_II, re=0.1, rt=0.4)
+        plan = wbg_plan(tasks, TABLE_II, n_cores=4, re=0.1, rt=0.4)
+        result = run_batch(plan, TABLE_II)
+        assert result.cost(0.1, 0.4).total_cost > 0
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.core
+        import repro.governors
+        import repro.models
+        import repro.schedulers
+        import repro.simulator
+        import repro.structures
+        import repro.workloads
+
+    def test_key_classes_are_the_same_objects(self):
+        from repro.core.batch_multi import WorkloadBasedGreedy
+        from repro.models.cost import CostModel
+
+        assert repro.WorkloadBasedGreedy is WorkloadBasedGreedy
+        assert repro.CostModel is CostModel

@@ -1,0 +1,140 @@
+"""Tests for the addressable min-heap used by Workload Based Greedy."""
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.structures.indexed_heap import IndexedMinHeap
+
+
+class TestBasics:
+    def test_empty(self):
+        h = IndexedMinHeap()
+        assert len(h) == 0
+        assert not h
+        with pytest.raises(IndexError):
+            h.peek()
+        with pytest.raises(IndexError):
+            h.pop()
+
+    def test_push_pop_order(self):
+        h = IndexedMinHeap()
+        for item, prio in [("a", 3.0), ("b", 1.0), ("c", 2.0)]:
+            h.push(item, prio)
+        assert h.pop() == ("b", 1.0)
+        assert h.pop() == ("c", 2.0)
+        assert h.pop() == ("a", 3.0)
+
+    def test_peek_does_not_remove(self):
+        h = IndexedMinHeap()
+        h.push("x", 5.0)
+        assert h.peek() == ("x", 5.0)
+        assert len(h) == 1
+
+    def test_duplicate_push_rejected(self):
+        h = IndexedMinHeap()
+        h.push("x", 1.0)
+        with pytest.raises(KeyError):
+            h.push("x", 2.0)
+
+    def test_equal_priorities_fifo(self):
+        h = IndexedMinHeap()
+        h.push("first", 1.0)
+        h.push("second", 1.0)
+        h.push("third", 1.0)
+        assert [h.pop()[0] for _ in range(3)] == ["first", "second", "third"]
+
+    def test_explicit_tiebreak(self):
+        h = IndexedMinHeap()
+        h.push("late", 1.0, tiebreak=9)
+        h.push("early", 1.0, tiebreak=1)
+        assert h.pop()[0] == "early"
+
+    def test_update_decrease_and_increase(self):
+        h = IndexedMinHeap()
+        h.push("a", 5.0)
+        h.push("b", 3.0)
+        h.update("a", 1.0)
+        assert h.peek()[0] == "a"
+        h.update("a", 10.0)
+        assert h.peek()[0] == "b"
+        assert h.priority_of("a") == 10.0
+
+    def test_remove_middle(self):
+        h = IndexedMinHeap()
+        for i in range(10):
+            h.push(i, float(i))
+        assert h.remove(5) == 5.0
+        assert 5 not in h
+        drained = [h.pop()[0] for _ in range(len(h))]
+        assert drained == [0, 1, 2, 3, 4, 6, 7, 8, 9]
+
+    def test_push_or_update(self):
+        h = IndexedMinHeap()
+        h.push_or_update("x", 4.0)
+        h.push_or_update("x", 2.0)
+        assert len(h) == 1
+        assert h.priority_of("x") == 2.0
+
+    def test_contains_and_iter(self):
+        h = IndexedMinHeap()
+        h.push("a", 1.0)
+        h.push("b", 2.0)
+        assert "a" in h and "c" not in h
+        assert set(h) == {"a", "b"}
+
+
+class TestPropertyBased:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=60))
+    def test_drain_matches_heapq(self, priorities):
+        h = IndexedMinHeap()
+        ref = []
+        for i, p in enumerate(priorities):
+            h.push(i, p)
+            heapq.heappush(ref, (p, i))
+        ours = [h.pop()[0] for _ in range(len(h))]
+        theirs = [heapq.heappop(ref)[1] for _ in range(len(ref))]
+        assert ours == theirs
+        h.check_invariants()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_interleaved_operations(self, data):
+        h = IndexedMinHeap()
+        alive: dict[int, float] = {}
+        next_id = 0
+        for _ in range(data.draw(st.integers(1, 80))):
+            op = data.draw(st.sampled_from(["push", "pop", "remove", "update"]))
+            if op == "push" or not alive:
+                prio = data.draw(st.floats(-100, 100))
+                h.push(next_id, prio)
+                alive[next_id] = prio
+                next_id += 1
+            elif op == "pop":
+                item, prio = h.pop()
+                assert prio == min(alive.values())
+                del alive[item]
+            elif op == "remove":
+                item = data.draw(st.sampled_from(sorted(alive)))
+                h.remove(item)
+                del alive[item]
+            else:
+                item = data.draw(st.sampled_from(sorted(alive)))
+                prio = data.draw(st.floats(-100, 100))
+                h.update(item, prio)
+                alive[item] = prio
+            h.check_invariants()
+            assert len(h) == len(alive)
+
+    def test_large_random_stress(self):
+        rng = random.Random(9)
+        h = IndexedMinHeap()
+        for i in range(2000):
+            h.push(i, rng.uniform(0, 1))
+        for i in range(0, 2000, 3):
+            h.update(i, rng.uniform(0, 1))
+        out = [h.pop()[1] for _ in range(len(h))]
+        assert out == sorted(out)
