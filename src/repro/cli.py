@@ -10,7 +10,8 @@ Installed as ``repro-dvfs`` (also ``python -m repro``). Subcommands:
 * ``batch`` — schedule an ad-hoc batch of cycle counts with WBG;
 * ``gantt`` — ASCII Gantt chart of a WBG plan for a batch;
 * ``frontier`` — energy/flow-time Pareto frontier of a batch;
-* ``trace`` — generate a Judgegirl-style trace to CSV/JSONL.
+* ``trace`` — generate a Judgegirl-style trace to CSV/JSONL;
+* ``fuzz`` — seeded differential fuzzer (fast vs naive implementations).
 """
 
 from __future__ import annotations
@@ -217,6 +218,31 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify import ALL_CHECKS, run_fuzz, summarize
+
+    checks = args.check or None
+    unknown = sorted(set(checks or ()) - set(ALL_CHECKS))
+    if unknown:
+        names = ", ".join(sorted(ALL_CHECKS))
+        print(f"unknown check(s): {', '.join(unknown)} (available: {names})")
+        return 2
+    report = run_fuzz(
+        seed=args.seed,
+        cases=args.cases,
+        checks=checks,
+        budget=args.budget,
+        max_failures=args.max_failures,
+        log=print,
+    )
+    summarize(report, print)
+    if not report.ok:
+        names = ", ".join(sorted(ALL_CHECKS))
+        print(f"(checks available: {names})")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dvfs",
@@ -267,6 +293,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2014)
     p.add_argument("out", help="output path (.csv or .jsonl)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("fuzz", help="seeded differential fuzzer (fast vs naive)")
+    p.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    p.add_argument("--cases", type=int, default=200,
+                   help="cases per check (default 200)")
+    p.add_argument("--budget", type=float, default=None,
+                   help="wall-clock budget in seconds (default: unlimited)")
+    p.add_argument("--check", action="append", default=None,
+                   metavar="NAME", help="restrict to one check (repeatable)")
+    p.add_argument("--max-failures", type=int, default=5,
+                   help="stop after this many distinct failures (default 5)")
+    p.set_defaults(func=cmd_fuzz)
 
     return parser
 

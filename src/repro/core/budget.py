@@ -28,6 +28,7 @@ from repro.core.batch_single import schedule_single_core
 from repro.models.cost import CoreSchedule, CostModel
 from repro.models.rates import RateTable
 from repro.models.task import Task
+from repro.models.tolerances import ABS_TOL
 
 
 @dataclass(frozen=True)
@@ -68,7 +69,7 @@ def schedule_with_energy_budget(
     tasks: Sequence[Task],
     table: RateTable,
     budget: float,
-    tol: float = 1e-9,
+    tol: float = ABS_TOL,
     max_iters: int = 200,
 ) -> Optional[BudgetSchedule]:
     """Minimum-flow-time schedule with ``energy <= budget``, or ``None``.

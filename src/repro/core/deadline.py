@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.models.rates import RateTable
+from repro.models.tolerances import TIME_SLACK
 from repro.models.task import Task
 
 
@@ -164,7 +165,7 @@ def solve_deadline_single_core(instance: DeadlineInstance) -> Optional[DeadlineS
             for p in instance.table.rates:
                 t2 = t + task.cycles * instance.table.time(p)
                 e2 = e + task.cycles * instance.table.energy(p)
-                if t2 > task.deadline + 1e-9 or e2 > instance.energy_budget + 1e-9:
+                if t2 > task.deadline + TIME_SLACK or e2 > instance.energy_budget + TIME_SLACK:
                     continue
                 nxt[(t2, e2)] = choices + (p,)
         frontier = _pareto_prune(nxt)
@@ -223,7 +224,7 @@ def solve_deadline_multi_core(instance: DeadlineInstance, max_tasks: int = 20) -
             order.extend(sol.order)
             rates.extend(sol.rates)
             cores.extend([j] * len(sol.order))
-        if feasible and total_energy <= instance.energy_budget + 1e-9:
+        if feasible and total_energy <= instance.energy_budget + TIME_SLACK:
             candidate = DeadlineSolution(
                 order=tuple(order), rates=tuple(rates), cores=tuple(cores),
                 total_energy=total_energy, makespan=makespan,
@@ -244,9 +245,9 @@ def verify_solution(instance: DeadlineInstance, solution: DeadlineSolution) -> b
             return False
         clocks[core] += task.cycles * instance.table.time(rate)
         energy += task.cycles * instance.table.energy(rate)
-        if clocks[core] > task.deadline + 1e-9:
+        if clocks[core] > task.deadline + TIME_SLACK:
             return False
-    return energy <= instance.energy_budget + 1e-9
+    return energy <= instance.energy_budget + TIME_SLACK
 
 
 def _pareto_prune(

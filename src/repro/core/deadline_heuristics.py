@@ -25,6 +25,7 @@ from typing import Optional
 
 from repro.core.deadline import DeadlineInstance, DeadlineSolution
 from repro.models.task import Task
+from repro.models.tolerances import TIME_SLACK
 from repro.structures.indexed_heap import IndexedMinHeap
 
 
@@ -39,7 +40,7 @@ def _completion_times(order, rates, table) -> list[float]:
 
 def _deadlines_met(order, rates, table) -> bool:
     return all(
-        c <= t.deadline + 1e-9
+        c <= t.deadline + TIME_SLACK
         for c, t in zip(_completion_times(order, rates, table), order)
     )
 
@@ -83,7 +84,7 @@ def _rate_descent(order: list[Task], table, energy_budget: float) -> Optional[li
             improved = True
 
     energy = sum(t.cycles * table.energy(p) for t, p in zip(order, rates))
-    if energy > energy_budget + 1e-9:
+    if energy > energy_budget + TIME_SLACK:
         return None
     return rates
 
@@ -194,6 +195,6 @@ def lpt_feasibility_certificate(instance: DeadlineInstance) -> Optional[bool]:
         DeadlineInstance(tasks=instance.tasks, table=table,
                          energy_budget=math.inf, n_cores=m)
     )
-    if sol is not None and sol.makespan <= d + 1e-9:
+    if sol is not None and sol.makespan <= d + TIME_SLACK:
         return True
     return None

@@ -26,13 +26,10 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.models.cost import CostModel
-
-#: Relative tolerance for deciding that a crossover lands exactly on an
-#: integer position (which the tie rule awards to the higher rate).
-_TIE_EPS = 1e-9
+from repro.models.tolerances import TIE_EPS as _TIE_EPS
 
 
 @dataclass(frozen=True)
@@ -116,8 +113,14 @@ class DominatingRanges:
         ranges: list[DominatingRange] = []
         lb = 1
         for s_i, s_next in zip(stack, stack[1:]):
-            # crossover: s_i.y + s_i.x·k = s_next.y + s_next.x·k
-            nlb = _integer_crossover(s_next[1] - s_i[1], s_i[0] - s_next[0])
+            # crossover: s_i.y + s_i.x·k = s_next.y + s_next.x·k.  Near-integer
+            # crossovers are re-resolved by comparing the two rates' costs
+            # directly, with the exact float expression the brute-force
+            # argmin uses, so the tie rule cannot be flipped by the window.
+            def wins_at(k: int, lo=s_i[2], hi=s_next[2]) -> bool:
+                return model.backward_position_cost(k, hi) <= model.backward_position_cost(k, lo)
+
+            nlb = _integer_crossover(s_next[1] - s_i[1], s_i[0] - s_next[0], wins_at=wins_at)
             if lb < nlb:
                 ranges.append(DominatingRange(rate=s_i[2], lo=lb, hi=nlb))
             # else: this hull rate's integer range is empty (crossover <= lb);
@@ -166,21 +169,40 @@ class DominatingRanges:
         return f"DominatingRanges({parts})"
 
 
-def _integer_crossover(dy: float, dx: float) -> int:
+def _integer_crossover(
+    dy: float, dx: float, wins_at: Optional[Callable[[int], bool]] = None
+) -> int:
     """First integer position where the faster line wins (ties → faster).
 
     The real crossover is ``k* = dy / dx`` (``dx > 0`` because ``T``
     strictly decreases). The faster rate owns every integer
     ``k >= k*`` — including an exact-integer ``k*``, per the tie rule —
-    so the slower rate's range ends at ``ceil(k*)``, computed with a
-    tolerance so floating-point noise cannot flip an exact tie.
+    so the slower rate's range ends at ``ceil(k*)``.
+
+    A crossover landing *near* an integer needs care: float noise can
+    push an exact tie off the integer, and — the converse failure — a
+    purely relative window ``|k* − round(k*)| <= eps·k*`` widens with
+    ``k*`` until it swallows genuinely fractional crossovers (at
+    ``k* ≈ 1e5`` a fractional part of ``1e-4`` would be misread as a
+    tie, handing the position to the faster rate when the slower one is
+    strictly cheaper). So the window is only a *trigger*: within it the
+    caller-supplied ``wins_at(k)`` predicate re-resolves the boundary by
+    comparing the two rates' costs at the candidate integer directly,
+    which reproduces the brute-force argmin's ``<=`` tie rule exactly.
+    Without a predicate (bare helper use), the window keeps its old
+    tie-goes-to-faster reading.
     """
     if dx <= 0:
         raise ValueError("crossover denominator must be positive")
     ratio = dy / dx
     nearest = round(ratio)
     if abs(ratio - nearest) <= _TIE_EPS * max(1.0, abs(ratio)):
-        return max(1, int(nearest))
+        k = max(1, int(nearest))
+        if wins_at is not None and not wins_at(k):
+            # true crossover lies strictly above k: the faster rate does
+            # not own position k after all (the window was too generous).
+            return k + 1
+        return k
     return max(1, math.ceil(ratio))
 
 

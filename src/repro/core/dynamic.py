@@ -36,7 +36,15 @@ from typing import Any, Optional
 
 from repro.core.dominating import DominatingRanges
 from repro.models.cost import CostModel
+from repro.models.tolerances import AGG_ABS_TOL, REL_TOL
 from repro.structures.rangetree import RangeTree, RangeTreeNode
+
+
+#: A value leaving a range triggers an aggregate refresh when it exceeds
+#: the remaining sum by this factor: subtracting a dominant term leaves
+#: ulp-of-the-dominant-value residue (catastrophic absorption), which is
+#: unbounded *relative to the remainder*.
+_ABSORPTION_RATIO = 2.0 ** 16
 
 
 class DynamicCostIndex:
@@ -103,16 +111,25 @@ class DynamicCostIndex:
 
         LMC's core-selection step calls this once per core per
         non-interactive arrival. Implemented as insert → read → delete,
-        which restores the exact logical state.
+        then restoring the pre-probe aggregates verbatim: the delete
+        reverses the insert only up to float rounding, and when the
+        probed value dwarfs the resident queue (say 1e6 cycles against a
+        0.001-cycle task) the absorption residue left in ``x``/``d`` is
+        ulp-of-the-probe sized — far above any fixed tolerance — and
+        would otherwise accumulate across probes.
         """
-        before = self._cost
+        n_before = len(self.tree)
+        snap = (self._b[:], self._alpha[:], self._beta[:],
+                self._x[:], self._d[:], self._cost)
         node = self.insert(cycles)
         after = self._cost
         self.delete(node)
-        if not math.isclose(self._cost, before, rel_tol=1e-9, abs_tol=1e-9):
+        if len(self.tree) != n_before:
             raise AssertionError("marginal cost probe failed to restore state")
-        self._cost = before  # clamp away float drift from the probe
-        return after - before
+        self._b, self._alpha, self._beta, self._x, self._d, self._cost = (
+            snap[0], snap[1], snap[2], snap[3], snap[4], snap[5]
+        )
+        return after - snap[5]
 
     # -- Algorithm 5: insert ----------------------------------------------------------
     def insert(self, cycles: float, payload: Any = None) -> RangeTreeNode:
@@ -165,6 +182,7 @@ class DynamicCostIndex:
         kb = self.tree.rank(ptr)
         # i ← last non-empty range
         i = max(j for j in range(len(self._a)) if self._a[j] <= self._b[j])
+        refresh: list[int] = []
 
         # cascade: every non-empty range past kb's range loses its first
         # element across the boundary into the previous range.
@@ -176,6 +194,8 @@ class DynamicCostIndex:
             self._b[i] -= 1
             if self._a[i] <= self._b[i]:
                 self._alpha[i] = tptr.next
+                if tptr.value > _ABSORPTION_RATIO * self._x[i]:
+                    refresh.append(i)
             else:
                 self._alpha[i] = None
                 self._beta[i] = None
@@ -200,12 +220,25 @@ class DynamicCostIndex:
             self._beta[i] = None
             self._x[i] = 0.0  # snap float residue: the range is empty
             self._d[i] = 0.0
-        elif self._alpha[i] is ptr:
-            self._alpha[i] = ptr.next
-        elif self._beta[i] is ptr:
-            self._beta[i] = ptr.prev
+        else:
+            if self._alpha[i] is ptr:
+                self._alpha[i] = ptr.next
+            elif self._beta[i] is ptr:
+                self._beta[i] = ptr.prev
+            if ptr.value > _ABSORPTION_RATIO * self._x[i]:
+                refresh.append(i)
 
         self.tree.delete(ptr)
+        # Re-derive aggregates wherever the departed value dominated what
+        # remains: the incremental subtraction leaves ulp-of-the-big-value
+        # residue (catastrophic absorption), unbounded relative to the
+        # small remainder. The treap recomputes subtree sums along the
+        # delete path, so these queries are absorption-free. O(log N)
+        # each, and only dominant removals trigger them.
+        for j in refresh:
+            if self._a[j] <= self._b[j]:
+                self._x[j] = self.tree.range_sum(self._a[j], self._b[j])
+                self._d[j] = self.tree.range_delta(self._a[j], self._b[j])
         self._recompute_cost()
 
     # -- internals ---------------------------------------------------------------------
@@ -232,19 +265,19 @@ class DynamicCostIndex:
             if a > b:
                 assert self._alpha[i] is None and self._beta[i] is None
                 assert self._x[i] == 0.0
-                assert abs(self._d[i]) < 1e-6
+                assert abs(self._d[i]) < AGG_ABS_TOL
                 continue
             assert self._alpha[i] is not None and self._beta[i] is not None
             assert self.tree.rank(self._alpha[i]) == a, f"range {i}: alpha rank mismatch"
             assert self.tree.rank(self._beta[i]) == b, f"range {i}: beta rank mismatch"
             xs = self.tree.range_sum(a, b)
             ds = self.tree.range_delta(a, b)
-            assert math.isclose(self._x[i], xs, rel_tol=1e-9, abs_tol=1e-6), f"range {i}: x"
-            assert math.isclose(self._d[i], ds, rel_tol=1e-9, abs_tol=1e-6), f"range {i}: d"
+            assert math.isclose(self._x[i], xs, rel_tol=REL_TOL, abs_tol=AGG_ABS_TOL), f"range {i}: x"
+            assert math.isclose(self._d[i], ds, rel_tol=REL_TOL, abs_tol=AGG_ABS_TOL), f"range {i}: d"
         naive = sum(
             self.ranges.cost(kb) * node.value for kb, node in enumerate(self.tree, start=1)
         )
-        assert math.isclose(self._cost, naive, rel_tol=1e-9, abs_tol=1e-6), "total cost drifted"
+        assert math.isclose(self._cost, naive, rel_tol=REL_TOL, abs_tol=AGG_ABS_TOL), "total cost drifted"
 
 
 class NaiveCostIndex:

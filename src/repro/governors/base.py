@@ -13,6 +13,7 @@ from __future__ import annotations
 import abc
 
 from repro.models.rates import RateTable
+from repro.models.tolerances import LOAD_SLACK
 
 
 class Governor(abc.ABC):
@@ -38,7 +39,7 @@ class Governor(abc.ABC):
         """New rate given the last window's ``load`` ∈ [0, 1]."""
 
     def validate_load(self, load: float) -> None:
-        if not (0.0 <= load <= 1.0 + 1e-9):
+        if not (0.0 <= load <= 1.0 + LOAD_SLACK):
             raise ValueError(f"load must be within [0, 1], got {load}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,58 @@
+"""Shared numerical tolerances.
+
+Every float comparison in the production code and in the
+:mod:`repro.verify` invariant checker draws its slack from this module,
+so the verification harness and the code it audits cannot drift apart.
+Historically these lived as scattered ``1e-9`` literals in
+``core/deadline.py``, ``core/deadline_heuristics.py``, ``core/budget.py``,
+``core/dynamic.py``, ``core/dominating.py``, ``governors/base.py`` and the
+simulator; they are now named once here.
+
+The values are deliberately coarse relative to double precision
+(``eps ≈ 2.2e-16``): the quantities compared are sums of at most a few
+thousand products of well-scaled inputs, so ``1e-9`` relative slack
+absorbs accumulated rounding without masking genuine algorithmic
+divergence.
+"""
+
+from __future__ import annotations
+
+#: Generic relative tolerance for cost/energy/time comparisons.
+REL_TOL = 1e-9
+
+#: Generic absolute tolerance for quantities expected to be O(1) or larger.
+ABS_TOL = 1e-9
+
+#: Absolute tolerance for *aggregate* comparisons (sums over many tasks),
+#: where per-term rounding accumulates: cross-checking the incremental
+#: Equation-32 aggregates of ``DynamicCostIndex`` against a from-scratch
+#: rebuild, and the invariant checker's re-derived schedule costs.
+AGG_ABS_TOL = 1e-6
+
+#: Slack granted when testing a completion time against a deadline or an
+#: energy total against a budget: ``t <= deadline + TIME_SLACK`` counts
+#: as meeting the deadline.
+TIME_SLACK = 1e-9
+
+#: A task execution with fewer than this many cycles remaining counts as
+#: finished (the simulator's zero-remainder threshold).
+CYCLE_EPS = 1e-9
+
+#: Slack on the ``[0, 1]`` load bound a governor accepts (busy-time
+#: accounting can overshoot a sampling window by float noise).
+LOAD_SLACK = 1e-9
+
+#: Half-width of the window around an integer within which a dominating
+#: -range crossover is treated as *potentially* tied and re-resolved by
+#: direct cost comparison (see ``repro.core.dominating``).
+TIE_EPS = 1e-9
+
+__all__ = [
+    "REL_TOL",
+    "ABS_TOL",
+    "AGG_ABS_TOL",
+    "TIME_SLACK",
+    "CYCLE_EPS",
+    "LOAD_SLACK",
+    "TIE_EPS",
+]

@@ -30,6 +30,7 @@ from repro.governors.base import Governor
 from repro.models.cost import ScheduleCost
 from repro.models.rates import RateTable
 from repro.models.task import Task, TaskKind
+from repro.models.tolerances import TIME_SLACK
 from repro.simulator.engine import EventHandle, Simulation
 from repro.simulator.platform import SimCore, TaskExecution
 
@@ -166,7 +167,7 @@ class OnlineResult:
         """Tasks whose completion exceeded their (finite) deadline."""
         rs = self.records if kind is None else self.by_kind(kind)
         return sum(
-            1 for r in rs if r.task.has_deadline and r.finish > r.task.deadline + 1e-9
+            1 for r in rs if r.task.has_deadline and r.finish > r.task.deadline + TIME_SLACK
         )
 
     def deadline_miss_rate(self, kind: Optional[TaskKind] = None) -> float:

@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.models.rates import RateTable
 from repro.models.task import Task
+from repro.models.tolerances import CYCLE_EPS
 from repro.simulator.contention import ContentionModel, NO_CONTENTION
 from repro.simulator.power import PowerMeter
 
@@ -41,7 +42,11 @@ class TaskExecution:
 
     @property
     def done(self) -> bool:
-        return self.remaining_cycles <= 1e-9
+        # Relative to the task's size: progress is integrated piecewise
+        # (one subtraction per rate switch / governor sample), so the
+        # residual at the scheduled completion instant scales with the
+        # cycle count, not with any fixed epsilon.
+        return self.remaining_cycles <= CYCLE_EPS * max(1.0, self.task.cycles)
 
     @property
     def total_cycles(self) -> float:
@@ -127,7 +132,14 @@ class SimCore:
                         f"{self.current.task.task_id}: {cycles_done} > "
                         f"{self.current.remaining_cycles} cycles"
                     )
-                cycles_done = min(cycles_done, self.current.remaining_cycles)
+                if cycles_done > self.current.remaining_cycles:
+                    # the completion event time rounds at the ulp of the
+                    # absolute clock; clip the overshoot so the booked
+                    # busy time and energy match the work actually left
+                    # (for a tiny task, watts × overshoot can exceed its
+                    # whole physical energy bound)
+                    cycles_done = self.current.remaining_cycles
+                    dt = cycles_done * tpc
                 self.current.remaining_cycles -= cycles_done
                 self.current.busy_seconds += dt
                 watts = self.table.power(self.rate)

@@ -75,7 +75,13 @@ class IndexedMinHeap:
         return prio
 
     def update(self, item: Hashable, priority: float, tiebreak: Any = None) -> None:
-        """Change ``item``'s priority (increase or decrease)."""
+        """Change ``item``'s priority (increase or decrease).
+
+        ``tiebreak=None`` (the default) **preserves** the item's stored
+        tiebreak — it never mints a fresh insertion-order one — so a
+        same-priority update is a true no-op for equal-priority ordering
+        (determinism pinned by the regression tests).
+        """
         i = self._pos[item]
         old_prio, old_tb, _ = self._heap[i]
         if tiebreak is None:
@@ -86,11 +92,13 @@ class IndexedMinHeap:
         else:
             self._sift_down(i)
 
-    def push_or_update(self, item: Hashable, priority: float) -> None:
+    def push_or_update(self, item: Hashable, priority: float, tiebreak: Any = None) -> None:
+        """Insert or reprioritise. The ``tiebreak`` is forwarded to both
+        paths (it used to be dropped silently on the update path)."""
         if item in self._pos:
-            self.update(item, priority)
+            self.update(item, priority, tiebreak)
         else:
-            self.push(item, priority)
+            self.push(item, priority, tiebreak)
 
     def priority_of(self, item: Hashable) -> float:
         return self._heap[self._pos[item]][0]

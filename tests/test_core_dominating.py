@@ -121,6 +121,46 @@ class TestTieBreaking:
         with pytest.raises(ValueError):
             _integer_crossover(1.0, 0.0)
 
+    def test_wins_at_predicate_rejects_generous_window(self):
+        # inside the near-integer window, a predicate saying "the faster
+        # rate does NOT win at k" must push the boundary to k + 1
+        assert _integer_crossover(10.0, 2.0) == 5
+        assert _integer_crossover(10.0, 2.0, wins_at=lambda k: True) == 5
+        assert _integer_crossover(10.0, 2.0, wins_at=lambda k: False) == 6
+
+    def test_large_fractional_crossover_not_misread_as_tie(self):
+        # found by: python -m repro fuzz (dominating check). The crossover
+        # is k* = 100000.0001 — genuinely fractional, so position 100000
+        # belongs to the SLOWER rate. A relative tie window (eps·k*) is
+        # ~1e-5 wide here and used to swallow the fractional part, handing
+        # 100000 to the faster rate against the per-position argmin.
+        table = RateTable([1.0, 2.0], [1.0, 50001.00005], [1.0, 0.5])
+        model = CostModel(table, re=1.0, rt=1.0)
+        dr = DominatingRanges.from_cost_model(model)
+        for kb in (99999, 100000, 100001):
+            assert dr.rate_for(kb) == model.best_rate_backward(kb)[0], kb
+        assert dr.rate_for(100000) == 1.0
+        assert dr.rate_for(100001) == 2.0
+
+    def test_large_exact_tie_goes_to_higher_rate(self):
+        # same construction with the fractional part removed: an exact tie
+        # at kb = 100000 must follow the <= tie rule (faster rate wins)
+        table = RateTable([1.0, 2.0], [1.0, 50001.0], [1.0, 0.5])
+        model = CostModel(table, re=1.0, rt=1.0)
+        dr = DominatingRanges.from_cost_model(model)
+        assert dr.rate_for(99999) == 1.0
+        assert dr.rate_for(100000) == 2.0
+        assert model.best_rate_backward(100000)[0] == 2.0
+
+    def test_dyadic_exact_crossovers_match_brute_force(self):
+        # dyadic-rational tables make every pairwise crossover exactly
+        # representable, so each boundary position is a true == tie
+        table = RateTable([1.0, 2.0, 4.0], [0.5, 1.0, 3.0], [1.0, 0.5, 0.25])
+        model = CostModel(table, re=1.0, rt=1.0)
+        dr = DominatingRanges.from_cost_model(model)
+        expected = brute_force_ranges(model, 64)
+        assert [dr.rate_for(k) for k in range(1, 65)] == expected
+
 
 class TestStructuralInvariants:
     def test_constructor_rejects_gaps(self, batch_model):

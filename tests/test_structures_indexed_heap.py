@@ -138,3 +138,56 @@ class TestPropertyBased:
             h.update(i, rng.uniform(0, 1))
         out = [h.pop()[1] for _ in range(len(h))]
         assert out == sorted(out)
+
+
+class TestDeterministicTiebreaks:
+    """Equal-priority ordering must survive ``update``/``push_or_update``.
+
+    The LMC scheduler relies on FIFO order among equal-cost queues; an
+    update that silently minted a fresh insertion-order tiebreak would
+    reshuffle ties and make runs seed-dependent.
+    """
+
+    def test_update_preserves_insertion_order_on_ties(self):
+        h = IndexedMinHeap()
+        for item in ("a", "b", "c"):
+            h.push(item, 5.0)
+        # reprioritise the middle item without supplying a tiebreak: its
+        # stored (insertion-order) tiebreak must survive the round-trip
+        h.update("b", 1.0)
+        h.update("b", 5.0)
+        assert [h.pop()[0] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_update_with_explicit_tiebreak_reorders(self):
+        h = IndexedMinHeap()
+        h.push("a", 5.0, tiebreak=10)
+        h.push("b", 5.0, tiebreak=20)
+        h.update("a", 5.0, tiebreak=30)
+        assert [h.pop()[0] for _ in range(2)] == ["b", "a"]
+
+    def test_push_or_update_forwards_tiebreak_on_update_path(self):
+        h = IndexedMinHeap()
+        h.push("a", 5.0, tiebreak=10)
+        h.push("b", 5.0, tiebreak=20)
+        h.push_or_update("a", 5.0, tiebreak=30)  # item exists → update path
+        assert [h.pop()[0] for _ in range(2)] == ["b", "a"]
+
+    def test_push_or_update_without_tiebreak_keeps_order(self):
+        h = IndexedMinHeap()
+        for item in ("a", "b", "c"):
+            h.push_or_update(item, 2.0)
+        h.push_or_update("a", 2.0)  # refresh with same priority, no tiebreak
+        assert [h.pop()[0] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_equal_priority_pops_are_fifo_after_churn(self):
+        rng = random.Random(4)
+        h = IndexedMinHeap()
+        items = [f"t{i}" for i in range(50)]
+        for item in items:
+            h.push(item, 1.0)
+        for _ in range(200):  # priority churn that always returns to 1.0
+            item = items[rng.randrange(len(items))]
+            h.update(item, rng.uniform(0, 10))
+            h.update(item, 1.0)
+            h.check_invariants()
+        assert [h.pop()[0] for _ in range(len(h))] == items
