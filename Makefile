@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench figures examples lint typecheck clean
 
 install:
 	$(PYTHON) -m pip install -e '.[dev]'
@@ -15,6 +15,12 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+lint:
+	$(PYTHON) -m repro lint src
+
+typecheck:
+	$(PYTHON) -m mypy --config-file pyproject.toml
 
 figures:
 	$(PYTHON) -m repro table1

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.models.tolerances import ABS_TOL
 from repro.simulator.batch_runner import BatchResult
 from repro.simulator.power import PowerMeter
 
@@ -86,5 +87,5 @@ def batch_power_profile(
 ) -> str:
     """Convenience: platform profile for a finished traced batch run."""
     platform = merge_platform_meter(meters)
-    return render_power_profile(platform, max(result.makespan, 1e-9),
+    return render_power_profile(platform, max(result.makespan, ABS_TOL),
                                 width=width, height=height)

@@ -11,7 +11,9 @@ Installed as ``repro-dvfs`` (also ``python -m repro``). Subcommands:
 * ``gantt`` — ASCII Gantt chart of a WBG plan for a batch;
 * ``frontier`` — energy/flow-time Pareto frontier of a batch;
 * ``trace`` — generate a Judgegirl-style trace to CSV/JSONL;
-* ``fuzz`` — seeded differential fuzzer (fast vs naive implementations).
+* ``fuzz`` — seeded differential fuzzer (fast vs naive implementations);
+* ``lint`` — domain-aware static analysis (determinism / tolerance /
+  scheduler-contract rules; see docs/STATIC_ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -243,6 +245,60 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        Baseline,
+        DEFAULT_BASELINE,
+        EXIT_CLEAN,
+        EXIT_ERROR,
+        Project,
+        all_rules,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.summary}")
+        return EXIT_CLEAN
+
+    try:
+        project = Project.from_paths(Path(p) for p in args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}")
+        return EXIT_ERROR
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    baseline = None
+    if not args.no_baseline and not args.write_baseline and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"error: cannot read baseline: {exc}")
+            return EXIT_ERROR
+
+    try:
+        report = run_lint(project, select=args.select, ignore=args.ignore,
+                          baseline=baseline)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}")
+        return EXIT_ERROR
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
+        return EXIT_CLEAN
+
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dvfs",
@@ -305,6 +361,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-failures", type=int, default=5,
                    help="stop after this many distinct failures (default 5)")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("lint", help="domain-aware static analysis (RPxxx rules)")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files/directories to lint (default: src)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (default text)")
+    p.add_argument("--select", action="append", default=None, metavar="CODE",
+                   help="run only this rule (repeatable)")
+    p.add_argument("--ignore", action="append", default=None, metavar="CODE",
+                   help="skip this rule (repeatable)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="baseline file (default: ./lint-baseline.json if present)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline file")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="grandfather all current findings into the baseline")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.add_argument("--verbose", action="store_true",
+                   help="also list justified in-line suppressions")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

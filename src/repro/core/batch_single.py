@@ -22,6 +22,7 @@ from typing import Iterable, Optional
 from repro.core.dominating import DominatingRanges
 from repro.models.cost import CoreSchedule, CostModel, Placement
 from repro.models.task import Task, TaskSet
+from repro.models.tolerances import IMPROVE_TOL
 
 
 def schedule_single_core(
@@ -100,7 +101,7 @@ def brute_force_single_core(
                 Placement(task=t, rate=p) for t, p in zip(perm, assignment)
             )
             cost = model.core_cost(sched).total_cost
-            if cost < best_cost - 1e-12:
+            if cost < best_cost - IMPROVE_TOL:
                 best_cost = cost
                 best = sched
     assert best is not None

@@ -28,7 +28,11 @@ from repro.core.batch_single import schedule_single_core
 from repro.models.cost import CoreSchedule, CostModel
 from repro.models.rates import RateTable
 from repro.models.task import Task
-from repro.models.tolerances import ABS_TOL
+from repro.models.tolerances import ABS_TOL, BISECT_REL_TOL, IMPROVE_TOL
+
+#: λ small enough that every task picks the maximum rate (the infeasible
+#: bracket seed for the bisection, not a comparison tolerance).
+_LAMBDA_FLOOR = 1e-18  # repro-lint: disable=RP001 -- bisection bracket seed, not a comparison tolerance
 
 
 @dataclass(frozen=True)
@@ -89,12 +93,12 @@ def schedule_with_energy_budget(
         return None  # even the all-minimum-rate schedule cannot fit
 
     # λ = 0⁺: all-max-rate (min flow). If that fits, it is globally optimal.
-    fastest = _solve_at(task_list, table, 1e-18)
+    fastest = _solve_at(task_list, table, _LAMBDA_FLOOR)
     if fastest.energy <= budget + tol:
         return fastest
 
     # find an upper multiplier that is feasible
-    lo = 1e-18  # infeasible side (too fast, too much energy)
+    lo = _LAMBDA_FLOOR  # infeasible side (too fast, too much energy)
     hi = 1.0
     feasible_hi = None
     for _ in range(100):
@@ -117,7 +121,7 @@ def schedule_with_energy_budget(
                 best = cand
         else:
             lo = mid
-        if hi / lo < 1.0 + 1e-12:
+        if hi / lo < 1.0 + BISECT_REL_TOL:
             break
     return best
 
@@ -146,7 +150,7 @@ def pareto_frontier(
     cleaned: list[tuple[float, float]] = []
     best_flow = math.inf
     for e, f in ascending:
-        if f < best_flow - 1e-12:
+        if f < best_flow - IMPROVE_TOL:
             cleaned.append((e, f))
             best_flow = f
     cleaned.reverse()  # report in decreasing energy / increasing flow order

@@ -157,6 +157,6 @@ class ContinuousRelaxation:
     def discretisation_loss(self, tasks: Sequence[Task], rates: Sequence[float]) -> float:
         """Relative extra cost of the menu vs continuous DVFS (≥ 0)."""
         lb = self.lower_bound(tasks)
-        if lb == 0.0:
+        if lb == 0.0:  # repro-lint: disable=RP004 -- exact-zero guard before dividing by lb
             return 0.0
         return self.neighbour_rounding_cost(tasks, rates) / lb - 1.0

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.models.rates import RateTable
-from repro.models.tolerances import TIME_SLACK
+from repro.models.tolerances import IMPROVE_TOL, TIME_SLACK
 from repro.models.task import Task
 
 
@@ -258,7 +258,7 @@ def _pareto_prune(
     pruned: dict[tuple[float, float], tuple[float, ...]] = {}
     best_energy = math.inf
     for (t, e), choices in items:
-        if e < best_energy - 1e-12:
+        if e < best_energy - IMPROVE_TOL:
             pruned[(t, e)] = choices
             best_energy = e
     return pruned

@@ -25,7 +25,7 @@ from typing import Optional
 
 from repro.core.deadline import DeadlineInstance, DeadlineSolution
 from repro.models.task import Task
-from repro.models.tolerances import TIME_SLACK
+from repro.models.tolerances import STRICT_ABS_TOL, TIME_SLACK
 from repro.structures.indexed_heap import IndexedMinHeap
 
 
@@ -184,12 +184,12 @@ def lpt_feasibility_certificate(instance: DeadlineInstance) -> Optional[bool]:
     works = [t.cycles * t_max for t in instance.tasks]
     if not works:
         return True
-    if max(works) > d + 1e-12:
+    if max(works) > d + STRICT_ABS_TOL:
         return False
-    if sum(works) > m * d + 1e-12:
+    if sum(works) > m * d + STRICT_ABS_TOL:
         return False
     lower_bound = max(max(works), sum(works) / m)
-    if lower_bound * (4.0 / 3.0 - 1.0 / (3.0 * m)) <= d + 1e-12:
+    if lower_bound * (4.0 / 3.0 - 1.0 / (3.0 * m)) <= d + STRICT_ABS_TOL:
         return True
     sol = lpt_multi_core(
         DeadlineInstance(tasks=instance.tasks, table=table,

@@ -26,7 +26,7 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 from repro.models.cost import CostModel
 from repro.models.tolerances import TIE_EPS as _TIE_EPS
@@ -101,7 +101,11 @@ class DominatingRanges:
             for i in range(len(table))
         ]
 
-        def cross(t0, t1, t2) -> float:
+        def cross(
+            t0: tuple[float, float, float],
+            t1: tuple[float, float, float],
+            t2: tuple[float, float, float],
+        ) -> float:
             return (t1[0] - t0[0]) * (t2[1] - t0[1]) - (t2[0] - t0[0]) * (t1[1] - t0[1])
 
         stack: list[tuple[float, float, float]] = []
@@ -117,7 +121,7 @@ class DominatingRanges:
             # crossovers are re-resolved by comparing the two rates' costs
             # directly, with the exact float expression the brute-force
             # argmin uses, so the tie rule cannot be flipped by the window.
-            def wins_at(k: int, lo=s_i[2], hi=s_next[2]) -> bool:
+            def wins_at(k: int, lo: float = s_i[2], hi: float = s_next[2]) -> bool:
                 return model.backward_position_cost(k, hi) <= model.backward_position_cost(k, lo)
 
             nlb = _integer_crossover(s_next[1] - s_i[1], s_i[0] - s_next[0], wins_at=wins_at)
@@ -156,7 +160,7 @@ class DominatingRanges:
         rate = self.rate_for(kb)
         return rate, self.model.backward_position_cost(kb, rate)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[DominatingRange]:
         return iter(self.ranges)
 
     def __len__(self) -> int:

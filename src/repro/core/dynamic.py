@@ -246,7 +246,7 @@ class DynamicCostIndex:
         """Equation 32 from the per-range aggregates. ``Θ(|P̂|)``."""
         c = 0.0
         for i in range(len(self._a)):
-            if self._x[i] == 0.0:
+            if self._x[i] == 0.0:  # repro-lint: disable=RP004 -- empty-range sum is exactly 0.0 by construction
                 continue
             gamma = self._d[i] + (self._a[i] - 1) * self._x[i]
             c += self._ree[i] * self._x[i] + self._rtt[i] * gamma
@@ -264,7 +264,7 @@ class DynamicCostIndex:
             assert b == expected_b, f"range {i}: b={b} expected {expected_b}"
             if a > b:
                 assert self._alpha[i] is None and self._beta[i] is None
-                assert self._x[i] == 0.0
+                assert self._x[i] == 0.0  # repro-lint: disable=RP004 -- empty-range sum is exactly 0.0 by construction
                 assert abs(self._d[i]) < AGG_ABS_TOL
                 continue
             assert self._alpha[i] is not None and self._beta[i] is not None

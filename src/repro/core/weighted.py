@@ -40,6 +40,7 @@ from typing import Optional, Sequence
 
 from repro.models.cost import CostModel
 from repro.models.task import Task
+from repro.models.tolerances import IMPROVE_TOL
 
 
 @dataclass(frozen=True)
@@ -126,7 +127,7 @@ def exact_weighted_schedule(
     best: Optional[WeightedSchedule] = None
     for perm in itertools.permutations(items):
         rates, cost = rates_for_order(perm, model)
-        if best is None or cost < best.total_cost - 1e-12:
+        if best is None or cost < best.total_cost - IMPROVE_TOL:
             best = WeightedSchedule(order=tuple(perm), rates=rates, total_cost=cost)
     if best is None:
         return WeightedSchedule(order=(), rates=(), total_cost=0.0)

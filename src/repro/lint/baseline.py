@@ -1,0 +1,81 @@
+"""Committed-baseline mechanism for grandfathered findings.
+
+A baseline is a JSON file listing fingerprints of findings that existed
+when a rule was introduced; runs filter those out so a new rule can land
+without first fixing the whole tree, while any *new* violation still
+fails. Entries record the rule, path and offending line text alongside
+the fingerprint so the file stays reviewable, and entries that no longer
+match anything are counted as *stale* (report-only) so the file shrinks
+back toward empty as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding, fingerprint_findings
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, auto-loaded from the working directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Set of grandfathered finding fingerprints."""
+
+    fingerprints: set[str] = field(default_factory=set)
+    entries: list[dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ValueError(f"{path}: not a v{BASELINE_VERSION} lint baseline")
+        entries = data.get("findings", [])
+        if not isinstance(entries, list):
+            raise ValueError(f"{path}: malformed findings list")
+        fps = {
+            str(e["fingerprint"])
+            for e in entries
+            if isinstance(e, dict) and "fingerprint" in e
+        }
+        return cls(fingerprints=fps, entries=list(entries))
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries: list[dict[str, object]] = []
+        for f, fp in fingerprint_findings(findings):
+            entries.append({
+                "fingerprint": fp,
+                "rule": f.rule,
+                "path": f.path,
+                "line_text": f.line_text.strip(),
+                "message": f.message,
+            })
+        return cls(fingerprints={str(e["fingerprint"]) for e in entries},
+                   entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {"version": BASELINE_VERSION, "findings": self.entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding], int]:
+        """Partition into (new, baselined) findings plus the stale-entry count."""
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        matched: set[str] = set()
+        for f, fp in fingerprint_findings(findings):
+            if fp in self.fingerprints:
+                baselined.append(f)
+                matched.add(fp)
+            else:
+                new.append(f)
+        stale = len(self.fingerprints - matched)
+        return sorted(new), sorted(baselined), stale
+
+
+__all__ = ["BASELINE_VERSION", "Baseline", "DEFAULT_BASELINE"]

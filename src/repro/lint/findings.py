@@ -1,0 +1,60 @@
+"""Finding record and stable fingerprints for the lint subsystem.
+
+A :class:`Finding` pins a rule violation to a file/line/column. Its
+*fingerprint* deliberately excludes the line **number**: it hashes the
+rule code, the module path, the stripped text of the offending line and
+an occurrence index among identical lines. Editing unrelated parts of a
+file therefore never invalidates a committed baseline entry, while
+editing (or duplicating) the flagged line itself does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    line_text: str = field(default="", compare=False)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return f"{self.location()}: {self.rule} {self.message}"
+
+
+def fingerprint(finding: Finding, occurrence: int) -> str:
+    """Line-number-independent identity of a finding.
+
+    ``occurrence`` disambiguates several identical violations (same
+    rule, same stripped line text) within one file; callers number them
+    in source order.
+    """
+    payload = "\x1f".join(
+        (finding.rule, finding.path, finding.line_text.strip(), str(occurrence))
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def fingerprint_findings(findings: list[Finding]) -> list[tuple[Finding, str]]:
+    """Pair each finding with its fingerprint, numbering duplicates in order."""
+    seen: dict[tuple[str, str, str], int] = {}
+    out: list[tuple[Finding, str]] = []
+    for f in sorted(findings):
+        key = (f.rule, f.path, f.line_text.strip())
+        occ = seen.get(key, 0)
+        seen[key] = occ + 1
+        out.append((f, fingerprint(f, occ)))
+    return out
+
+
+__all__ = ["Finding", "fingerprint", "fingerprint_findings"]

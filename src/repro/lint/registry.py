@@ -1,0 +1,120 @@
+"""Rule plugin registry.
+
+A rule is a class with a ``code`` (``RPxxx``), a one-line ``summary``
+and a ``check_project`` generator. Most rules only look at one module
+at a time and override :meth:`Rule.check_module`; whole-project rules
+(e.g. the scheduler re-export contract) override
+:meth:`Rule.check_project` directly.
+
+Registering is one decorator::
+
+    @register
+    class MyRule(Rule):
+        code = "RP042"
+        name = "my-rule"
+        summary = "what it forbids and why"
+
+        def check_module(self, mod):
+            yield from ()
+
+Third parties (tests included) can register additional rules; codes
+must be unique.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Type
+
+from repro.lint.findings import Finding
+from repro.lint.source import Project, SourceModule
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for mod in project:
+            if mod.tree is None:
+                continue
+            yield from self.check_module(mod)
+
+    def check_module(self, mod: SourceModule) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(
+        self, mod: SourceModule, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=mod.pkgpath,
+            line=line,
+            col=col + 1,
+            rule=self.code,
+            message=message,
+            line_text=mod.line_text(line),
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and index a rule by its code."""
+    inst = cls()
+    if not inst.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if inst.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {inst.code}")
+    _REGISTRY[inst.code] = inst
+    return cls
+
+
+def unregister(code: str) -> None:
+    """Remove a rule (used by tests that register throwaway rules)."""
+    _REGISTRY.pop(code, None)
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by code."""
+    return [_REGISTRY[c] for c in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(f"unknown rule code {code!r}") from None
+
+
+def resolve_codes(
+    select: Iterable[str] | None = None, ignore: Iterable[str] | None = None
+) -> list[Rule]:
+    """The active rule set after ``--select`` / ``--ignore`` filtering.
+
+    Raises :class:`KeyError` on a code that names no registered rule, so
+    a typo fails loudly instead of silently linting nothing.
+    """
+    known = {r.code for r in all_rules()}
+    for group in (select, ignore):
+        for code in group or ():
+            if code not in known:
+                raise KeyError(f"unknown rule code {code!r}")
+    active = set(select) if select else set(known)
+    active -= set(ignore or ())
+    return [r for r in all_rules() if r.code in active]
+
+
+__all__ = [
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "resolve_codes",
+    "unregister",
+]

@@ -1,0 +1,197 @@
+"""Source loading for the linter: modules, projects and suppressions.
+
+A :class:`SourceModule` is one parsed Python file plus its suppression
+directives; a :class:`Project` is the set of modules a lint run sees
+(rules like the scheduler-contract check need the whole set, not one
+file at a time).
+
+Suppression syntax (per line, trailing comment)::
+
+    x = 1e-9  # repro-lint: disable=RP001 -- jitter magnitude, not a tolerance
+
+The code list is comma-separated; the text after ``--`` is a mandatory
+one-line justification. Directives without a justification, with unknown
+codes, or that suppress nothing are themselves reported (rule RP000 in
+:mod:`repro.lint.rules`).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]*?)"
+    r"\s*(?:--\s*(?P<why>.*?)\s*)?$"
+)
+
+CODE_RE = re.compile(r"^RP\d{3}$")
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One parsed ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+    raw: str
+
+    @property
+    def malformed_codes(self) -> tuple[str, ...]:
+        return tuple(c for c in self.codes if not CODE_RE.match(c))
+
+
+def _comment_tokens(text: str) -> list[tuple[int, str]]:
+    """(line, comment_text) for every real COMMENT token.
+
+    Tokenizing (rather than scanning raw lines) keeps directive examples
+    inside docstrings and string literals from being read as live
+    suppressions. Falls back to a plain line scan only if the file does
+    not tokenize (it then fails to parse anyway).
+    """
+    try:
+        return [
+            (tok.start[0], tok.string)
+            for tok in tokenize.generate_tokens(io.StringIO(text).readline)
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return [
+            (idx, line[line.index("#"):])
+            for idx, line in enumerate(text.splitlines(), start=1)
+            if "#" in line
+        ]
+
+
+def parse_directives(text: str) -> dict[int, Directive]:
+    """Extract suppression directives, keyed by 1-based line number."""
+    out: dict[int, Directive] = {}
+    for line, comment in _comment_tokens(text):
+        if "repro-lint" not in comment:
+            continue
+        m = DIRECTIVE_RE.search(comment)
+        if not m:
+            continue
+        codes = tuple(c.strip() for c in m.group("codes").split(",") if c.strip())
+        out[line] = Directive(
+            line=line,
+            codes=codes,
+            justification=(m.group("why") or "").strip(),
+            raw=comment.strip(),
+        )
+    return out
+
+
+@dataclass
+class SourceModule:
+    """One Python file: path, text, AST and suppression directives.
+
+    ``pkgpath`` is the path *inside* the ``repro`` package (e.g.
+    ``core/dynamic.py``) — rules scope themselves by it, so lint results
+    do not depend on the directory the tool was invoked from.
+    """
+
+    pkgpath: str
+    text: str
+    filename: str = "<string>"
+    lines: list[str] = field(init=False)
+    tree: ast.Module | None = field(init=False)
+    syntax_error: str | None = field(init=False, default=None)
+    directives: dict[int, Directive] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.lines = self.text.splitlines()
+        try:
+            self.tree = ast.parse(self.text, filename=self.filename)
+        except SyntaxError as exc:  # surfaced as a finding by the runner
+            self.tree = None
+            self.syntax_error = f"{exc.msg} (line {exc.lineno})"
+        self.directives = parse_directives(self.text)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def suppressed_codes(self, line: int) -> tuple[str, ...]:
+        d = self.directives.get(line)
+        return d.codes if d is not None else ()
+
+
+def _pkgpath_for(path: Path, root: Path) -> str:
+    """Derive the in-package path for ``path``.
+
+    Prefers the portion after the last ``repro`` directory component
+    (so ``src/repro/core/x.py`` → ``core/x.py`` however the tool was
+    invoked); falls back to the path relative to the walk root.
+    """
+    parts = path.resolve().parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            tail = parts[i + 1:]
+            if tail:
+                return "/".join(tail)
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.name
+
+
+@dataclass
+class Project:
+    """The full set of modules one lint run analyses."""
+
+    modules: list[SourceModule]
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[Path]) -> "Project":
+        """Load every ``*.py`` under the given files/directories."""
+        files: list[tuple[str, Path]] = []
+        for raw in paths:
+            p = Path(raw)
+            if p.is_dir():
+                for f in sorted(p.rglob("*.py")):
+                    if "__pycache__" in f.parts:
+                        continue
+                    files.append((_pkgpath_for(f, p), f))
+            elif p.is_file():
+                files.append((_pkgpath_for(p, p.parent), p))
+            else:
+                raise FileNotFoundError(f"no such file or directory: {p}")
+        seen: dict[str, SourceModule] = {}
+        for pkgpath, f in files:
+            if pkgpath not in seen:
+                seen[pkgpath] = SourceModule(
+                    pkgpath=pkgpath,
+                    text=f.read_text(encoding="utf-8"),
+                    filename=str(f),
+                )
+        return cls(modules=list(seen.values()))
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "Project":
+        """Build a project from in-memory ``{pkgpath: source}`` (tests)."""
+        return cls(
+            modules=[
+                SourceModule(pkgpath=k, text=v, filename=k)
+                for k, v in sources.items()
+            ]
+        )
+
+    def get(self, pkgpath: str) -> SourceModule | None:
+        for m in self.modules:
+            if m.pkgpath == pkgpath:
+                return m
+        return None
+
+    def __iter__(self) -> Iterator[SourceModule]:
+        return iter(self.modules)
+
+
+__all__ = ["Directive", "Project", "SourceModule", "parse_directives"]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.models.rates import RateTable
 from repro.models.task import Task
@@ -61,7 +61,7 @@ class CoreSchedule:
     def __len__(self) -> int:
         return len(self.placements)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Placement]:
         return iter(self.placements)
 
     def tasks(self) -> list[Task]:

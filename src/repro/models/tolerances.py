@@ -47,12 +47,63 @@ LOAD_SLACK = 1e-9
 #: direct cost comparison (see ``repro.core.dominating``).
 TIE_EPS = 1e-9
 
+#: Tight absolute slack for *structural* comparisons whose operands are
+#: nearly exact: interval-containment tests (YDS critical windows),
+#: scheduling-in-the-past clock checks in the event queue, and the
+#: deadline-certificate feasibility checks. Tighter than :data:`ABS_TOL`
+#: because these quantities are raw inputs or single subtractions, not
+#: accumulated sums.
+STRICT_ABS_TOL = 1e-12
+
+#: Minimum strict improvement an exhaustive/greedy argmin must see
+#: before switching incumbents. Keeps brute-force searches and Pareto
+#: pruning deterministic under float noise: ties go to the first
+#: candidate in iteration order.
+IMPROVE_TOL = 1e-12
+
+#: Strict-improvement threshold for YDS critical-interval *intensity*
+#: (work / width). Much tighter than :data:`IMPROVE_TOL`: intensities of
+#: distinct intervals are either equal-by-construction or separated by
+#: far more than accumulated rounding, and the first-maximum tie-break
+#: fixes the constructed schedule.
+INTENSITY_IMPROVE_TOL = 1e-15
+
+#: Relative tolerance for serialization round-trip equality of task
+#: fields (CSV/JSONL writers format with enough digits that round-trips
+#: are exact to well under this).
+ROUNDTRIP_REL_TOL = 1e-12
+
+#: Relative convergence threshold for the Lagrange-multiplier bisection
+#: in ``core/budget.py``: stop once the bracket satisfies
+#: ``hi/lo < 1 + BISECT_REL_TOL``.
+BISECT_REL_TOL = 1e-12
+
+#: Slack, in (giga)cycles, the platform grants an ``advance`` past the
+#: running task's remaining work before declaring the completion-event
+#: bookkeeping broken. Coarser than :data:`CYCLE_EPS` because the
+#: overrun is a product of a time delta and a rate, each carrying
+#: rounding of its own.
+CYCLE_OVERRUN_TOL = 1e-6
+
+#: Relative tolerance for the order-statistic tree's self-check of its
+#: ``sum``/``wsum`` aggregates against a from-scratch recomputation
+#: (the aggregates are maintained incrementally across thousands of
+#: rotations, so per-update rounding accumulates).
+AGG_REL_TOL = 1e-6
+
 __all__ = [
     "REL_TOL",
     "ABS_TOL",
     "AGG_ABS_TOL",
-    "TIME_SLACK",
+    "AGG_REL_TOL",
+    "BISECT_REL_TOL",
     "CYCLE_EPS",
+    "CYCLE_OVERRUN_TOL",
+    "IMPROVE_TOL",
+    "INTENSITY_IMPROVE_TOL",
     "LOAD_SLACK",
+    "ROUNDTRIP_REL_TOL",
+    "STRICT_ABS_TOL",
     "TIE_EPS",
+    "TIME_SLACK",
 ]

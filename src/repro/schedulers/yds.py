@@ -27,6 +27,7 @@ from typing import Sequence
 
 from repro.models.energy import PowerLawEnergy
 from repro.models.task import Task
+from repro.models.tolerances import INTENSITY_IMPROVE_TOL, STRICT_ABS_TOL
 
 
 @dataclass(frozen=True)
@@ -92,13 +93,14 @@ def yds_schedule(tasks: Sequence[Task], power: PowerLawEnergy | None = None) -> 
                     continue
                 inside = [
                     i for i in remaining
-                    if windows[i][0] >= t1 - 1e-12 and windows[i][1] <= t2 + 1e-12
+                    if windows[i][0] >= t1 - STRICT_ABS_TOL
+                    and windows[i][1] <= t2 + STRICT_ABS_TOL
                 ]
                 if not inside:
                     continue
                 work = sum(remaining[i].cycles for i in inside)
                 intensity = work / (t2 - t1)
-                if intensity > best_intensity + 1e-15:
+                if intensity > best_intensity + INTENSITY_IMPROVE_TOL:
                     best_intensity = intensity
                     best = (t1, t2, inside)
         t1, t2, inside = best

@@ -13,6 +13,8 @@ import itertools
 import math
 from typing import Callable, Optional
 
+from repro.models.tolerances import STRICT_ABS_TOL
+
 
 class EventHandle:
     """Cancellation token for a scheduled event."""
@@ -52,7 +54,7 @@ class Simulation:
         """Schedule ``callback`` at absolute ``time`` (>= now)."""
         if math.isnan(time):
             raise ValueError("event time is NaN")
-        if time < self.now - 1e-12:
+        if time < self.now - STRICT_ABS_TOL:
             raise ValueError(f"cannot schedule in the past: t={time} < now={self.now}")
         handle = EventHandle(max(time, self.now), next(self._seq), callback, label)
         heapq.heappush(self._queue, handle)

@@ -22,7 +22,7 @@ from typing import Optional
 
 from repro.models.rates import RateTable
 from repro.models.task import Task
-from repro.models.tolerances import CYCLE_EPS
+from repro.models.tolerances import CYCLE_EPS, CYCLE_OVERRUN_TOL
 from repro.simulator.contention import ContentionModel, NO_CONTENTION
 from repro.simulator.power import PowerMeter
 
@@ -126,7 +126,7 @@ class SimCore:
                 cycles_done = dt / tpc
                 # guard: never execute more cycles than remain (caller should
                 # schedule the completion event at the exact finish time)
-                if cycles_done > self.current.remaining_cycles + 1e-6:
+                if cycles_done > self.current.remaining_cycles + CYCLE_OVERRUN_TOL:
                     raise RuntimeError(
                         f"core {self.index} overran task "
                         f"{self.current.task.task_id}: {cycles_done} > "

@@ -29,6 +29,8 @@ from __future__ import annotations
 import random
 from typing import Any, Iterator, Optional
 
+from repro.models.tolerances import AGG_REL_TOL
+
 
 class RangeTreeNode:
     """One stored task. Treat as opaque outside this module except for
@@ -51,7 +53,7 @@ class RangeTreeNode:
         "_tree",
     )
 
-    def __init__(self, value: float, payload: Any, key: tuple, prio: float) -> None:
+    def __init__(self, value: float, payload: Any, key: tuple[float, int], prio: float) -> None:
         self.value = value
         self.payload = payload
         self._key = key
@@ -373,8 +375,8 @@ class RangeTree:
             assert t._key < right[0]._key, "BST order broken (right)"
         assert t.size == len(left) + 1 + len(right), "size aggregate broken"
         total = sum(n.value for n in left) + t.value + sum(n.value for n in right)
-        assert abs(t.sum - total) < 1e-6 * max(1.0, abs(total)), "sum aggregate broken"
+        assert abs(t.sum - total) < AGG_REL_TOL * max(1.0, abs(total)), "sum aggregate broken"
         seq = left + [t] + right
         w = sum((i + 1) * n.value for i, n in enumerate(seq))
-        assert abs(t.wsum - w) < 1e-6 * max(1.0, abs(w)), "wsum aggregate broken"
+        assert abs(t.wsum - w) < AGG_REL_TOL * max(1.0, abs(w)), "wsum aggregate broken"
         return seq

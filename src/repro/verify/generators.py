@@ -58,7 +58,7 @@ def gen_table_dict(rng: random.Random, max_rates: int = 6) -> dict:
         if style == "tight-energy":
             # nearly indistinguishable energy steps: the hull pass must
             # still order them strictly
-            e += rng.choice([1e-9, 1e-7, 1e-5]) * (1.0 + rng.random())
+            e += rng.choice([1e-9, 1e-7, 1e-5]) * (1.0 + rng.random())  # repro-lint: disable=RP001 -- fuzz jitter magnitudes, not comparison tolerances
         else:
             e += rng.uniform(0.01, 4.0)
 
@@ -150,7 +150,7 @@ def gen_cycles(rng: random.Random, n: int) -> list[float]:
     if pool_style < 0.45:
         return [float(2 ** rng.randint(-3, 12)) for _ in range(n)]
     if pool_style < 0.55:
-        return [rng.choice([1e-6, 1e-3, 1.0, 1e3, 1e6]) for _ in range(n)]
+        return [rng.choice([1e-6, 1e-3, 1.0, 1e3, 1e6]) for _ in range(n)]  # repro-lint: disable=RP001 -- extreme-scale cycle counts for fuzzing, not tolerances
     return [round(rng.uniform(0.01, 100.0), 6) for _ in range(n)]
 
 

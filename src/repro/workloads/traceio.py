@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.models.task import Task, TaskKind
+from repro.models.tolerances import ROUNDTRIP_REL_TOL
 
 _FIELDS = ("task_id", "name", "cycles", "arrival", "deadline", "kind")
 
@@ -110,14 +111,14 @@ def roundtrip_equal(a: Sequence[Task], b: Sequence[Task]) -> bool:
             x.task_id != y.task_id
             or x.name != y.name
             or x.kind is not y.kind
-            or not math.isclose(x.cycles, y.cycles, rel_tol=1e-12)
-            or not math.isclose(x.arrival, y.arrival, rel_tol=1e-12)
+            or not math.isclose(x.cycles, y.cycles, rel_tol=ROUNDTRIP_REL_TOL)
+            or not math.isclose(x.arrival, y.arrival, rel_tol=ROUNDTRIP_REL_TOL)
         ):
             return False
         if math.isinf(x.deadline) != math.isinf(y.deadline):
             return False
         if not math.isinf(x.deadline) and not math.isclose(
-            x.deadline, y.deadline, rel_tol=1e-12
+            x.deadline, y.deadline, rel_tol=ROUNDTRIP_REL_TOL
         ):
             return False
     return True

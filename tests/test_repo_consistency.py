@@ -95,3 +95,107 @@ class TestPackageMetadata:
             tree = ast.parse(path.read_text())
             doc = ast.get_docstring(tree)
             assert doc and len(doc) > 20, f"{path} lacks a module docstring"
+
+
+class TestStaticAnalysis:
+    """The tree must stay clean under its own linter (docs/STATIC_ANALYSIS.md)."""
+
+    def test_src_passes_full_lint_rule_set(self):
+        from repro.lint import Baseline, lint_paths
+
+        report = lint_paths(
+            [ROOT / "src"], baseline_path=ROOT / "lint-baseline.json"
+        )
+        details = "\n".join(f.render() for f in report.findings)
+        assert report.ok, f"repro lint found new violations:\n{details}"
+
+    def test_committed_baseline_is_empty(self):
+        # Grandfathered debt is meant to be paid down, not accumulated:
+        # the committed baseline must stay empty, so every pre-existing
+        # finding is either fixed or carries a justified suppression.
+        import json
+
+        data = json.loads((ROOT / "lint-baseline.json").read_text())
+        assert data["version"] == 1
+        assert data["findings"] == []
+
+    def test_every_rule_is_documented(self):
+        from repro.lint import all_rules
+
+        doc = read("docs/STATIC_ANALYSIS.md")
+        for rule in all_rules():
+            assert rule.code in doc, f"docs/STATIC_ANALYSIS.md missing {rule.code}"
+
+    def test_rule_catalog_is_complete(self):
+        from repro.lint import all_rules
+
+        codes = {r.code for r in all_rules()}
+        assert {"RP000", "RP001", "RP002", "RP003", "RP004", "RP005",
+                "RP006"} <= codes
+
+    def test_in_tree_suppressions_carry_justifications(self):
+        from repro.lint import Project
+
+        project = Project.from_paths([ROOT / "src"])
+        for mod in project:
+            for d in mod.directives.values():
+                assert d.justification, (
+                    f"{mod.pkgpath}:{d.line} suppression lacks a justification"
+                )
+
+
+class TestTypingBaseline:
+    """pyproject's mypy config must keep promising what py.typed implies."""
+
+    def test_mypy_config_declares_strict_tier(self):
+        text = read("pyproject.toml")
+        assert "[tool.mypy]" in text
+        for module in ("repro.models.*", "repro.structures.*",
+                       "repro.core.dominating", "repro.lint.*"):
+            assert module in text, f"strict tier missing {module}"
+        assert "disallow_untyped_defs = true" in text
+
+    def test_mypy_in_dev_extra(self):
+        text = read("pyproject.toml")
+        dev_line = next(
+            line for line in text.splitlines() if line.startswith("dev = ")
+        )
+        assert "mypy" in dev_line
+
+    def test_strict_tier_defs_fully_annotated(self):
+        """AST-level stand-in for mypy's disallow_(un|in)complete_defs.
+
+        mypy itself runs in CI; this keeps the strict-tier promise
+        checkable in environments without mypy installed.
+        """
+        import ast
+
+        strict: list[Path] = [ROOT / "src/repro/core/dominating.py"]
+        for pkg in ("models", "structures", "lint"):
+            strict += sorted((ROOT / "src" / "repro" / pkg).glob("*.py"))
+        problems = []
+        for path in strict:
+            tree = ast.parse(path.read_text())
+            for node in ast.walk(tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if node.returns is None:
+                    problems.append(f"{path.name}:{node.lineno} {node.name}: no return type")
+                args = node.args
+                for a in args.posonlyargs + args.args + args.kwonlyargs:
+                    if a.arg not in ("self", "cls") and a.annotation is None:
+                        problems.append(
+                            f"{path.name}:{node.lineno} {node.name}: arg {a.arg} untyped"
+                        )
+        assert not problems, "\n".join(problems)
+
+    def test_mypy_strict_tier_if_available(self):
+        mypy_api = pytest.importorskip("mypy.api", reason="mypy not installed")
+        stdout, stderr, status = mypy_api.run(
+            ["--config-file", str(ROOT / "pyproject.toml"),
+             str(ROOT / "src" / "repro" / "models"),
+             str(ROOT / "src" / "repro" / "structures"),
+             str(ROOT / "src" / "repro" / "lint"),
+             str(ROOT / "src" / "repro" / "core" / "dominating.py")]
+        )
+        assert status == 0, f"mypy failed:\n{stdout}\n{stderr}"
