@@ -13,7 +13,9 @@ Installed as ``repro-dvfs`` (also ``python -m repro``). Subcommands:
 * ``trace`` — generate a Judgegirl-style trace to CSV/JSONL;
 * ``fuzz`` — seeded differential fuzzer (fast vs naive implementations);
 * ``lint`` — domain-aware static analysis (determinism / tolerance /
-  scheduler-contract rules; see docs/STATIC_ANALYSIS.md).
+  scheduler-contract rules; see docs/STATIC_ANALYSIS.md);
+* ``bench`` — deterministic perf suite with a regression gate against
+  the committed ``BENCH_schedulers.json`` (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -245,6 +247,68 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.perf import (
+        ALL_SCENARIOS,
+        EXIT_CLEAN,
+        EXIT_ERROR,
+        compare_reports,
+        load_report_file,
+        render_comparison,
+        render_report,
+        run_bench,
+        save_report_file,
+    )
+
+    if args.list_scenarios:
+        for name in sorted(ALL_SCENARIOS):
+            print(f"{name}  {ALL_SCENARIOS[name].description}")
+        return EXIT_CLEAN
+
+    try:
+        report = run_bench(
+            scenarios=args.scenario,
+            quick=args.quick,
+            repeats=args.repeats,
+            log=print,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}")
+        return EXIT_ERROR
+    render_report(report, print)
+
+    out_path = Path(args.out)
+    baseline_path = Path(args.baseline) if args.baseline else out_path
+    existing = {}
+    if baseline_path.exists():
+        try:
+            existing = load_report_file(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"error: cannot read baseline {baseline_path}: {exc}")
+            return EXIT_ERROR
+
+    # Gate first (against the committed numbers), then overwrite them —
+    # mirroring how `repro lint` treats its baseline file.
+    code = EXIT_CLEAN
+    if args.no_compare:
+        print("bench gate: skipped (--no-compare)")
+    elif report.profile not in existing:
+        print(f"bench gate: no committed {report.profile!r} profile to compare "
+              f"against; writing a fresh baseline")
+    else:
+        comparison = compare_reports(
+            report, existing[report.profile], threshold=args.threshold
+        )
+        render_comparison(comparison, print)
+        code = comparison.exit_code
+
+    save_report_file(out_path, report, existing=existing)
+    print(f"wrote {out_path} (profile {report.profile!r})")
+    return code
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -361,6 +425,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-failures", type=int, default=5,
                    help="stop after this many distinct failures (default 5)")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("bench", help="deterministic perf suite + regression gate")
+    p.add_argument("--quick", action="store_true",
+                   help="small workloads, best-of-5 (the CI profile)")
+    p.add_argument("--out", default="BENCH_schedulers.json", metavar="PATH",
+                   help="report file to update (default BENCH_schedulers.json)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="baseline to gate against (default: the --out file)")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="relative wall-time regression threshold (default 0.25)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="best-of repeats (default: 3, or 5 with --quick)")
+    p.add_argument("--scenario", action="append", default=None, metavar="NAME",
+                   help="run only this scenario (repeatable)")
+    p.add_argument("--no-compare", action="store_true",
+                   help="record without gating against the baseline")
+    p.add_argument("--list-scenarios", action="store_true",
+                   help="print the scenario catalog and exit")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("lint", help="domain-aware static analysis (RPxxx rules)")
     p.add_argument("paths", nargs="*", default=["src"],

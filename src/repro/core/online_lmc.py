@@ -56,11 +56,21 @@ class LeastMarginalCostPolicy:
             if m.re != re or m.rt != rt:
                 raise ValueError("all cores must share the same Re and Rt")
         self.models = list(models)
-        self.ranges = [DominatingRanges.from_cost_model(m) for m in models]
+        self.ranges = [DominatingRanges.cached(m) for m in models]
         self.queues = [
             DynamicCostIndex(m, r, seed=seed + j)
             for j, (m, r) in enumerate(zip(models, self.ranges))
         ]
+        # Equation 27 inputs at each core's maximum frequency,
+        # precomputed once for the batched kernel.
+        import numpy as np
+
+        self._pm_energy = np.array(
+            [m.table.energy(m.table.max_rate) for m in models], dtype=np.float64
+        )
+        self._pm_time = np.array(
+            [m.table.time(m.table.max_rate) for m in models], dtype=np.float64
+        )
 
     @property
     def n_cores(self) -> int:
@@ -77,14 +87,23 @@ class LeastMarginalCostPolicy:
         """
         if len(delayed_counts) != self.n_cores:
             raise ValueError("delayed_counts must have one entry per core")
-        best_j = 0
-        best_cost = float("inf")
-        for j, model in enumerate(self.models):
-            c = model.interactive_marginal_cost(cycles, delayed_counts[j])
-            if c < best_cost:
-                best_cost = c
-                best_j = j
-        return best_j
+        import numpy as np
+
+        from repro.models.vectorized import interactive_marginal_batch
+
+        # One kernel call instead of a per-core scalar loop. The kernel
+        # replays ``CostModel.interactive_marginal_cost`` term by term
+        # and ``argmin`` returns the first minimum, so the chosen core is
+        # bit-identical to the strict-``<`` loop it replaces.
+        costs = interactive_marginal_batch(
+            self.models[0].re,
+            self.models[0].rt,
+            cycles,
+            self._pm_energy,
+            self._pm_time,
+            np.asarray(delayed_counts, dtype=np.float64),
+        )
+        return int(costs.argmin())
 
     def choose_core_noninteractive(
         self, cycles: float, head_delays: Optional[Sequence[float]] = None
@@ -99,19 +118,35 @@ class LeastMarginalCostPolicy:
         a core grinding through a huge task would price identically
         when both queues are empty.
         """
+        costs = self.marginal_insert_costs(cycles, head_delays)
+        return min(range(self.n_cores), key=costs.__getitem__)
+
+    def marginal_insert_costs(
+        self, cycles: float, head_delays: Optional[Sequence[float]] = None
+    ) -> list[float]:
+        """Per-core marginal queue costs for one candidate task.
+
+        Each entry is what :meth:`choose_core_noninteractive` compares:
+        the Equation 32 increase from
+        :meth:`~repro.core.dynamic.DynamicCostIndex.marginal_insert_cost`
+        (memoized per cycle count between queue mutations) plus the
+        optional ``Rt × head_delay`` term.
+        """
         if head_delays is not None and len(head_delays) != self.n_cores:
             raise ValueError("head_delays must have one entry per core")
-        best_j = 0
-        best_cost = float("inf")
         rt = self.models[0].rt
-        for j, q in enumerate(self.queues):
-            c = q.marginal_insert_cost(cycles)
-            if head_delays is not None:
-                c += rt * head_delays[j]
-            if c < best_cost:
-                best_cost = c
-                best_j = j
-        return best_j
+        costs = [q.marginal_insert_cost(cycles) for q in self.queues]
+        if head_delays is not None:
+            costs = [c + rt * d for c, d in zip(costs, head_delays)]
+        return costs
+
+    def probe_counters(self) -> dict[str, int]:
+        """Aggregate the per-core queue counters (bench ops accounting)."""
+        total = {"inserts": 0, "deletes": 0, "probes": 0, "probe_memo_hits": 0}
+        for q in self.queues:
+            for key, value in q.counters.items():
+                total[key] += value
+        return total
 
     # -- queue manipulation ---------------------------------------------------------
     def enqueue(self, core: int, cycles: float, payload: Any = None) -> RangeTreeNode:

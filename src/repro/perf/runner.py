@@ -1,0 +1,56 @@
+"""Run the pinned bench suite and assemble a :class:`BenchReport`.
+
+Thin deterministic driver: resolve scenario names, run each once under
+the requested profile (``full`` or ``quick``), and collect the results.
+All policy — thresholds, baselines, exit codes — lives in
+:mod:`repro.perf.report`; all workload pinning in
+:mod:`repro.perf.scenarios`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.perf.report import BenchReport
+from repro.perf.scenarios import ALL_SCENARIOS
+
+#: Default best-of repeats per profile. Quick uses *more* repeats than
+#: full: its workloads are tiny, so per-run jitter is proportionally
+#: larger and best-of-5 is what keeps a 25% gate honest in CI.
+DEFAULT_REPEATS = {"full": 3, "quick": 5}
+
+
+def run_bench(
+    scenarios: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """Execute the suite; returns the fresh (uncompared) report.
+
+    Raises ``KeyError`` naming the first unknown scenario. ``log``
+    receives one progress line per scenario when provided.
+    """
+    profile = "quick" if quick else "full"
+    if repeats is None:
+        repeats = DEFAULT_REPEATS[profile]
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    names = list(scenarios) if scenarios else list(ALL_SCENARIOS)
+    for name in names:
+        if name not in ALL_SCENARIOS:
+            available = ", ".join(sorted(ALL_SCENARIOS))
+            raise KeyError(f"unknown scenario {name!r} (available: {available})")
+    results = {}
+    for name in names:
+        scenario = ALL_SCENARIOS[name]
+        if log is not None:
+            log(f"bench [{profile}] {name}: {scenario.description} ...")
+        result = scenario.fn(quick, repeats)
+        results[name] = result
+        if log is not None:
+            times = "  ".join(
+                f"{k}={v * 1e3:.1f}ms" for k, v in sorted(result.wall_time_s.items())
+            )
+            log(f"bench [{profile}] {name}: {times}")
+    return BenchReport(profile=profile, repeats=repeats, scenarios=results)

@@ -110,3 +110,9 @@ class LMCOnlineScheduler:
     def queued_cost(self) -> float:
         """Θ(1)-maintained total cost of all waiting queues."""
         return self.policy.total_queued_cost()
+
+    def counters(self) -> dict[str, int]:
+        """Deterministic ops counters (queue mutations, marginal probes,
+        probe-memo hits) aggregated over all cores — what ``repro bench``
+        records for the LMC trace scenario."""
+        return self.policy.probe_counters()

@@ -124,6 +124,12 @@ class OnlineResult:
     events: int
     core_busy_seconds: tuple[float, ...] = ()
 
+    @property
+    def total_preemptions(self) -> int:
+        """Preemptions summed over all tasks — a deterministic ops
+        counter (``repro bench`` compares it against the baseline)."""
+        return sum(r.preemptions for r in self.records)
+
     def utilisation(self, core: int) -> float:
         """Busy fraction of ``core`` over the run's horizon."""
         if not self.core_busy_seconds:

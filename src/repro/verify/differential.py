@@ -9,6 +9,10 @@ or from-scratch reference and compares them on a randomized instance:
 * ``wbg`` — Workload Based Greedy vs. exhaustive assignment search
   (Theorem 5) plus the Equation 8 ≡ Equation 13 identity and, on
   homogeneous platforms, Theorem 4's round-robin equivalence;
+* ``wbg_kernel`` — the scalar heap loop of Algorithm 3 vs. the
+  vectorized merge kernel: the two plans must match **exactly** (cores,
+  slots, and bitwise-equal rates), on batches large enough to cross the
+  ``kernel="auto"`` threshold;
 * ``dynamic`` — the incremental ``DynamicCostIndex`` vs. a
   rebuild-from-scratch ``NaiveCostIndex`` over a random insert/delete
   sequence, including the internal aggregate audit;
@@ -201,6 +205,59 @@ class WbgCheck(DifferentialCheck):
 
 
 # ---------------------------------------------------------------------------
+# WBG scalar heap loop vs vectorized merge kernel
+# ---------------------------------------------------------------------------
+
+class WbgKernelCheck(DifferentialCheck):
+    name = "wbg_kernel"
+    list_keys = ("cycles",)
+
+    def generate(self, rng: random.Random) -> dict:
+        n_cores = rng.randint(1, 4)
+        re, rt = gen.gen_pricing(rng)
+        # bigger batches than WbgCheck (no brute force here) so the
+        # merge regularly spans several dominating ranges per core and
+        # crosses the kernel="auto" threshold
+        n_tasks = rng.choice((1, 2, rng.randint(3, 30), rng.randint(60, 90)))
+        return {
+            "tables": gen.gen_tables(rng, n_cores),
+            "re": re,
+            "rt": rt,
+            "cycles": gen.gen_cycles(rng, n_tasks),
+        }
+
+    @staticmethod
+    def _plan_key(schedules) -> list[tuple[int, tuple[tuple[float, float], ...]]]:
+        return [
+            (s.core_index, tuple((p.task.cycles, p.rate) for p in s.placements))
+            for s in schedules
+        ]
+
+    def run(self, case: dict) -> list[str]:
+        models = gen.models_from_case(case)
+        tasks = [Task(cycles=c) for c in case["cycles"]]
+        wbg = WorkloadBasedGreedy(models)
+        scalar = self._plan_key(wbg.schedule(tasks, kernel="scalar"))
+        vector = self._plan_key(wbg.schedule(tasks, kernel="vector"))
+        failures: list[str] = []
+        if scalar != vector:
+            for (js, ps), (jv, pv) in zip(scalar, vector):
+                if (js, ps) != (jv, pv):
+                    failures.append(
+                        f"core {js}: scalar plan {ps!r} != vector plan {pv!r}"
+                    )
+            if not failures:
+                failures.append(f"plan shapes differ: {scalar!r} != {vector!r}")
+        cost_scalar = wbg.optimal_cost(tasks, kernel="scalar")
+        cost_vector = wbg.optimal_cost(tasks, kernel="vector")
+        if not _isclose(cost_scalar, cost_vector):
+            failures.append(
+                f"Σ C*·L scalar {cost_scalar!r} != vector {cost_vector!r}"
+            )
+        return failures
+
+
+# ---------------------------------------------------------------------------
 # dynamic index vs rebuild-from-scratch
 # ---------------------------------------------------------------------------
 
@@ -254,6 +311,22 @@ class DynamicCheck(DifferentialCheck):
                 if abs(m_fast - m_naive) > max(AGG_ABS_TOL, REL_TOL * scale):
                     failures.append(
                         f"step {step}: marginal({probe!r}) {m_fast!r} != {m_naive!r}"
+                    )
+                    break
+                # a repeated probe must hit the memo and return the very
+                # same float (a probe is not a mutation, so it must not
+                # have invalidated anything either)
+                hits_before = fast.counters["probe_memo_hits"]
+                if fast.marginal_insert_cost(probe) != m_fast:
+                    failures.append(
+                        f"step {step}: repeated marginal({probe!r}) diverged "
+                        "from its memoized value"
+                    )
+                    break
+                if fast.counters["probe_memo_hits"] != hits_before + 1:
+                    failures.append(
+                        f"step {step}: repeated marginal({probe!r}) missed the "
+                        "probe memo"
                     )
                     break
             if step % 7 == 0:
@@ -416,7 +489,8 @@ class OnlineCheck(DifferentialCheck):
 
 ALL_CHECKS: dict[str, DifferentialCheck] = {
     c.name: c
-    for c in (DominatingCheck(), WbgCheck(), DynamicCheck(), LmcCheck(), OnlineCheck())
+    for c in (DominatingCheck(), WbgCheck(), WbgKernelCheck(), DynamicCheck(),
+              LmcCheck(), OnlineCheck())
 }
 
 

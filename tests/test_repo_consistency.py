@@ -81,7 +81,7 @@ class TestPackageMetadata:
         for pkg in (
             "repro", "repro.models", "repro.core", "repro.structures",
             "repro.simulator", "repro.governors", "repro.schedulers",
-            "repro.workloads", "repro.analysis",
+            "repro.workloads", "repro.analysis", "repro.perf",
         ):
             mod = importlib.import_module(pkg)
             assert mod.__doc__ and len(mod.__doc__) > 40, f"{pkg} lacks a docstring"
@@ -95,6 +95,69 @@ class TestPackageMetadata:
             tree = ast.parse(path.read_text())
             doc = ast.get_docstring(tree)
             assert doc and len(doc) > 20, f"{path} lacks a module docstring"
+
+
+class TestBenchmarksDoc:
+    """benchmarks/README.md must track the actual bench files."""
+
+    def test_every_bench_file_has_a_readme_row(self):
+        listing = read("benchmarks/README.md")
+        for path in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+            assert f"`{path.name}`" in listing, (
+                f"benchmarks/README.md missing a row for {path.name}"
+            )
+
+    def test_every_readme_row_names_a_real_file(self):
+        listing = read("benchmarks/README.md")
+        for match in set(re.findall(r"`(bench_[a-z0-9_]+\.py)`", listing)):
+            assert (ROOT / "benchmarks" / match).exists(), (
+                f"benchmarks/README.md references missing {match}"
+            )
+
+    def test_repro_bench_documented(self):
+        listing = read("benchmarks/README.md")
+        assert "repro" in listing and "bench" in listing
+        assert "BENCH_schedulers.json" in listing
+
+
+class TestBenchBaseline:
+    """The committed BENCH_schedulers.json must parse and stay complete."""
+
+    def test_baseline_validates_against_schema(self):
+        from repro.perf import load_report_file
+
+        profiles = load_report_file(ROOT / "BENCH_schedulers.json")
+        assert {"full", "quick"} <= set(profiles)
+        for report in profiles.values():
+            assert len(report.scenarios) >= 3
+            assert report.repeats >= 1
+            for name, scenario in report.scenarios.items():
+                assert scenario.name == name
+                assert scenario.wall_time_s and all(
+                    t > 0 for t in scenario.wall_time_s.values()
+                )
+                assert scenario.ops and all(
+                    isinstance(v, int) for v in scenario.ops.values()
+                )
+                assert re.fullmatch(r"[0-9a-f]{16}", scenario.checksum)
+                assert scenario.params
+
+    def test_baseline_covers_the_pinned_suite(self):
+        from repro.perf import ALL_SCENARIOS, load_report_file
+
+        profiles = load_report_file(ROOT / "BENCH_schedulers.json")
+        for report in profiles.values():
+            assert set(report.scenarios) == set(ALL_SCENARIOS)
+
+    def test_committed_wbg_speedup_at_least_2x(self):
+        # the acceptance bar for the vectorized kernel: the committed
+        # full-profile 10⁴-task scaling run must show ≥ 2x over scalar
+        from repro.perf import load_report_file
+
+        full = load_report_file(ROOT / "BENCH_schedulers.json")["full"]
+        wbg = full.scenarios["wbg_scaling"]
+        assert wbg.ops["tasks"] == 10_000
+        assert wbg.wall_time_s["scalar"] / wbg.wall_time_s["vector"] >= 2.0
 
 
 class TestStaticAnalysis:
