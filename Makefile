@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples lint typecheck clean
+.PHONY: install test bench figures examples lint typecheck docs-check clean
 
 install:
 	$(PYTHON) -m pip install -e '.[dev]'
@@ -21,6 +21,11 @@ lint:
 
 typecheck:
 	$(PYTHON) -m mypy --config-file pyproject.toml
+
+# Doc-drift gate: README indexes every docs/*.md, docs/API.md tracks the
+# CLI parser, and every relative Markdown link resolves.
+docs-check:
+	$(PYTHON) -m pytest tests/test_repo_consistency.py -q -k "DocsDrift or Readme or DesignDoc"
 
 figures:
 	$(PYTHON) -m repro table1

@@ -10,7 +10,11 @@ Installed as ``repro-dvfs`` (also ``python -m repro``). Subcommands:
 * ``batch`` — schedule an ad-hoc batch of cycle counts with WBG;
 * ``gantt`` — ASCII Gantt chart of a WBG plan for a batch;
 * ``frontier`` — energy/flow-time Pareto frontier of a batch;
-* ``trace`` — generate a Judgegirl-style trace to CSV/JSONL;
+* ``workload`` — generate a Judgegirl-style trace file to CSV/JSONL;
+* ``trace`` — run a seeded scenario with decision tracing on and print
+  (or save) the structured decision log (see docs/OBSERVABILITY.md);
+* ``explain`` — reconstruct why a task got its core / position / rate
+  from a decision trace, citing the paper's equations;
 * ``fuzz`` — seeded differential fuzzer (fast vs naive implementations);
 * ``lint`` — domain-aware static analysis (determinism / tolerance /
   scheduler-contract rules; see docs/STATIC_ANALYSIS.md);
@@ -199,7 +203,7 @@ def cmd_frontier(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_trace(args: argparse.Namespace) -> int:
+def cmd_workload(args: argparse.Namespace) -> int:
     from repro.workloads.traceio import save_trace_csv, save_trace_jsonl
 
     cfg = JudgeTraceConfig(
@@ -219,6 +223,74 @@ def cmd_trace(args: argparse.Namespace) -> int:
     s = trace_summary(trace)
     print(f"wrote {s.total_tasks} tasks ({s.n_interactive} interactive + "
           f"{s.n_noninteractive} non-interactive) to {args.out}")
+    return 0
+
+
+def _format_event(event, width: int = 110) -> str:
+    import json
+
+    data = json.dumps(dict(event.data), separators=(",", ":"))
+    if len(data) > width:
+        data = data[: width - 1] + "…"
+    stamp = "" if event.time is None else f" t={event.time:.6g}"
+    return f"{event.seq:>5}  {event.kind:<18}{stamp}  {data}"
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import RecordingTracer, run_traced_scenario
+
+    tracer = RecordingTracer()
+    summary = run_traced_scenario(
+        args.scenario, tracer,
+        re=args.re, rt=args.rt, n_cores=args.cores, seed=args.seed,
+    )
+    events = tracer.events
+    parts = [f"{k}={summary[k]}" for k in ("n_tasks", "n_ops", "n_cores", "total_cost")
+             if k in summary]
+    print(f"scenario {args.scenario}: {', '.join(parts)}")
+    counts = ", ".join(f"{k}×{v}" for k, v in sorted(tracer.counts.items()))
+    print(f"{len(events)} trace events: {counts}")
+    if args.out:
+        n = tracer.write_jsonl(args.out)
+        print(f"wrote {n} events to {args.out}")
+        return 0
+    shown = events if args.limit is None else events[: args.limit]
+    for e in shown:
+        print(_format_event(e))
+    if len(shown) < len(events):
+        print(f"… {len(events) - len(shown)} more (use --limit or --out PATH.jsonl)")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        ExplainError,
+        RecordingTracer,
+        explain_task,
+        read_trace,
+        run_traced_scenario,
+    )
+
+    key = int(args.task) if args.task.lstrip("-").isdigit() else args.task
+    if args.trace:
+        try:
+            events = read_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read trace {args.trace}: {exc}")
+            return 2
+    else:
+        tracer = RecordingTracer()
+        run_traced_scenario(
+            args.scenario, tracer,
+            re=args.re, rt=args.rt, n_cores=args.cores, seed=args.seed,
+        )
+        events = tracer.events
+    try:
+        explanation = explain_task(events, key)
+    except ExplainError as exc:
+        print(f"error: {exc}")
+        return 1
+    print(explanation.render())
     return 0
 
 
@@ -406,13 +478,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("cycles", type=float, nargs="+", help="cycle counts (Gcycles)")
     p.set_defaults(func=cmd_frontier)
 
-    p = sub.add_parser("trace", help="generate an online-judge trace file")
+    p = sub.add_parser("workload", help="generate an online-judge trace file")
     p.add_argument("--interactive", type=int, default=50_525)
     p.add_argument("--noninteractive", type=int, default=768)
     p.add_argument("--duration", type=float, default=1800.0)
     p.add_argument("--seed", type=int, default=2014)
     p.add_argument("out", help="output path (.csv or .jsonl)")
+    p.set_defaults(func=cmd_workload)
+
+    from repro.obs.run import TRACE_SCENARIOS
+
+    def _add_scenario_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--re", type=float, default=None,
+                       help="cents per joule (default: the scenario's)")
+        p.add_argument("--rt", type=float, default=None,
+                       help="cents per second (default: the scenario's)")
+        p.add_argument("--cores", type=int, default=None,
+                       help="number of cores (default: the scenario's)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="scenario seed (default: the scenario's)")
+
+    p = sub.add_parser("trace", help="run a scenario with decision tracing on")
+    p.add_argument("scenario", choices=sorted(TRACE_SCENARIOS),
+                   help="; ".join(f"{k}: {v[1]}" for k, v in sorted(TRACE_SCENARIOS.items())))
+    _add_scenario_opts(p)
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the decision log as JSONL instead of printing")
+    p.add_argument("--limit", type=int, default=30,
+                   help="max events to print (default 30; ignored with --out)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("explain", help="why did a task get its core/position/rate?")
+    p.add_argument("task", help="task id (integer) or task name")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="read a recorded JSONL decision log (from `repro trace --out`)")
+    p.add_argument("--scenario", choices=sorted(TRACE_SCENARIOS), default="wbg",
+                   help="scenario to run when no --trace is given (default wbg)")
+    _add_scenario_opts(p)
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("fuzz", help="seeded differential fuzzer (fast vs naive)")
     p.add_argument("--seed", type=int, default=0, help="master seed (default 0)")

@@ -21,12 +21,15 @@ identical to Theorem 3's.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from repro.core.dominating import DominatingRanges
 from repro.models.cost import CoreSchedule, CostModel, Placement, ScheduleCost
 from repro.models.task import Task
 from repro.structures.indexed_heap import IndexedMinHeap
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.tracer import Tracer
 
 #: Batches below this size stay on the scalar heap loop under
 #: ``kernel="auto"`` — NumPy setup overhead only pays off past it.
@@ -60,9 +63,17 @@ class WorkloadBasedGreedy:
     the ranges and their vectorized positional-cost prefixes. Pass
     ``use_cache=False`` to force a fresh Algorithm 1 run per core (the
     cache-correctness tests diff the two).
+
+    ``tracer`` (see :mod:`repro.obs.tracer`) records one
+    ``ranges.build`` event per core at construction and one
+    ``wbg.slot_pick`` event per heap pop during :meth:`schedule`; with
+    the default ``None`` the only cost is a ``is not None`` test per
+    decision, and the produced plans are bit-identical either way (the
+    obs differential tests pin this).
     """
 
-    def __init__(self, models: Sequence[CostModel], use_cache: bool = True) -> None:
+    def __init__(self, models: Sequence[CostModel], use_cache: bool = True,
+                 tracer: "Optional[Tracer]" = None) -> None:
         if not models:
             raise ValueError("at least one core is required")
         re, rt = models[0].re, models[0].rt
@@ -72,6 +83,12 @@ class WorkloadBasedGreedy:
         self.models = list(models)
         make = DominatingRanges.cached if use_cache else DominatingRanges.from_cost_model
         self.ranges = [make(m) for m in models]
+        self._tracer = tracer
+        if tracer is not None:
+            from repro.obs.events import ranges_event_data
+
+            for j, r in enumerate(self.ranges):
+                tracer.emit("ranges.build", ranges_event_data(r, core=j))
 
     @property
     def n_cores(self) -> int:
@@ -96,24 +113,48 @@ class WorkloadBasedGreedy:
         (default) picks by batch size. The two produce **bit-identical**
         plans — same cores, slots, and rates — enforced by the
         ``wbg_kernel`` differential fuzz check.
+
+        An attached tracer forces the scalar path (the per-decision
+        events *are* the heap pops; the vector merge makes the same
+        decisions in one shot) — harmless for the result, since the
+        kernels are bit-identical.
         """
         by_weight = sorted(tasks, key=lambda t: (-t.cycles, t.task_id))  # heaviest first
-        if _use_vector(kernel, len(by_weight)):
+        if self._tracer is None and _use_vector(kernel, len(by_weight)):
             return self._schedule_vector(by_weight)
-        return self._schedule_scalar(by_weight)
+        return self._schedule_scalar(by_weight, kernel=kernel)
 
-    def _schedule_scalar(self, by_weight: Sequence[Task]) -> list[CoreSchedule]:
+    def _schedule_scalar(self, by_weight: Sequence[Task],
+                         kernel: str = "scalar") -> list[CoreSchedule]:
+        tracer = self._tracer
         heap = IndexedMinHeap()
         next_slot = [1] * self.n_cores
         for j in range(self.n_cores):
             heap.push(j, self.positional_cost(j, 1), tiebreak=j)
 
+        if tracer is not None:
+            tracer.emit("wbg.schedule", {
+                "n_tasks": len(by_weight), "n_cores": self.n_cores, "kernel": kernel,
+            })
+
         # per-core placements built back-to-front: slot k is the k-th from the end
         backward: list[list[Placement]] = [[] for _ in range(self.n_cores)]
         for task in by_weight:
-            j, _ = heap.pop()
+            j, picked_cost = heap.pop()
             kb = next_slot[j]
             rate = self.ranges[j].rate_for(kb)
+            if tracer is not None:
+                # every core's candidate slot at pick time — the heap's
+                # full state, so `repro explain` can show the runner-ups
+                candidates = [
+                    [c, next_slot[c], self.positional_cost(c, next_slot[c])]
+                    for c in range(self.n_cores)
+                ]
+                tracer.emit("wbg.slot_pick", {
+                    "task_id": task.task_id, "task": task.name,
+                    "cycles": task.cycles, "core": j, "slot": kb, "rate": rate,
+                    "positional_cost": picked_cost, "candidates": candidates,
+                })
             backward[j].append(Placement(task=task, rate=rate))
             next_slot[j] = kb + 1
             heap.push(j, self.positional_cost(j, kb + 1), tiebreak=j)

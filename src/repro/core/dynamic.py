@@ -32,9 +32,12 @@ sign.
 from __future__ import annotations
 
 import math
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.core.dominating import DominatingRanges
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.tracer import Tracer
 from repro.models.cost import CostModel
 from repro.models.tolerances import AGG_ABS_TOL, REL_TOL
 from repro.structures.rangetree import RangeTree, RangeTreeNode
@@ -55,13 +58,22 @@ class DynamicCostIndex:
     corresponds to a task arrival, :meth:`delete` to a completion (or
     cancellation), and :attr:`total_cost` is Equation 32, maintained
     incrementally.
+
+    ``tracer`` records ``dynamic.insert`` / ``dynamic.delete`` events
+    for real mutations and a ``dynamic.probe`` event per marginal-cost
+    probe (probe-internal insert/delete pairs are *not* traced — they
+    are an implementation detail that nets out to nothing). ``label``
+    names this queue in those events (e.g. ``"core2"``).
     """
 
     def __init__(self, model: CostModel, ranges: Optional[DominatingRanges] = None,
-                 seed: int = 0x5EED) -> None:
+                 seed: int = 0x5EED, tracer: "Optional[Tracer]" = None,
+                 label: str = "") -> None:
         self.model = model
         self.ranges = ranges if ranges is not None else DominatingRanges.cached(model)
         self.tree = RangeTree(seed=seed)
+        self._tracer = tracer
+        self.label = label
 
         # Marginal-probe memo: LMC probes every core on every arrival, so
         # repeated cycle counts (judge traces repeat per-problem costs) hit
@@ -139,6 +151,8 @@ class DynamicCostIndex:
         cached = memo.get(cycles)
         if cached is not None:
             self.counters["probe_memo_hits"] += 1
+            if self._tracer is not None:
+                self._trace_probe(cycles, cached, memo_hit=True)
             return cached
         n_before = len(self.tree)
         snap = (self._b[:], self._alpha[:], self._beta[:],
@@ -157,7 +171,28 @@ class DynamicCostIndex:
         )
         result = after - snap[5]
         memo[cycles] = result
+        if self._tracer is not None:
+            self._trace_probe(cycles, result, memo_hit=False)
         return result
+
+    def _trace_probe(self, cycles: float, marginal: float, memo_hit: bool) -> None:
+        data = {"cycles": cycles, "marginal": marginal, "memo_hit": memo_hit}
+        if self.label:
+            data["queue"] = self.label
+        assert self._tracer is not None
+        self._tracer.emit("dynamic.probe", data)
+
+    def _trace_mutation(self, kind: str, cycles: float, kb: int,
+                        payload: Any, data: dict) -> None:
+        if self.label:
+            data["queue"] = self.label
+        task_id = getattr(payload, "task_id", None)
+        if task_id is not None:
+            data["task_id"] = task_id
+            data["task"] = getattr(payload, "name", "")
+        data.update({"cycles": cycles, "position": kb, "total_cost": self._cost})
+        assert self._tracer is not None
+        self._tracer.emit(kind, data)
 
     def invalidate_probe_memo(self) -> None:
         """Invalidation hook: drop memoized marginals and bump the queue version.
@@ -223,6 +258,11 @@ class DynamicCostIndex:
             self._d[i] += self._x[i]
 
         self._recompute_cost()
+        if self._tracer is not None and not self._probing:
+            self._trace_mutation(
+                "dynamic.insert", cycles, kb, payload,
+                {"rate": self.ranges.rate_for(kb)},
+            )
         return ptr
 
     # -- Algorithm 6: delete ----------------------------------------------------------
@@ -232,6 +272,7 @@ class DynamicCostIndex:
             self.invalidate_probe_memo()
             self.counters["deletes"] += 1
         kb = self.tree.rank(ptr)
+        deleted_cycles, deleted_payload = ptr.value, ptr.payload
         # i ← last non-empty range
         i = max(j for j in range(len(self._a)) if self._a[j] <= self._b[j])
         refresh: list[int] = []
@@ -292,6 +333,8 @@ class DynamicCostIndex:
                 self._x[j] = self.tree.range_sum(self._a[j], self._b[j])
                 self._d[j] = self.tree.range_delta(self._a[j], self._b[j])
         self._recompute_cost()
+        if self._tracer is not None and not self._probing:
+            self._trace_mutation("dynamic.delete", deleted_cycles, kb, deleted_payload, {})
 
     # -- internals ---------------------------------------------------------------------
     def _recompute_cost(self) -> None:

@@ -29,12 +29,15 @@ and answers placement/rate questions; the event-driven runner in
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.core.dominating import DominatingRanges
 from repro.core.dynamic import DynamicCostIndex
 from repro.models.cost import CostModel
 from repro.structures.rangetree import RangeTreeNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.tracer import Tracer
 
 
 class LeastMarginalCostPolicy:
@@ -46,9 +49,18 @@ class LeastMarginalCostPolicy:
         One :class:`CostModel` per core; all must share ``Re``/``Rt``.
     seed:
         Seed forwarded to the per-core queue indices (treap priorities).
+    tracer:
+        Optional decision tracer (:mod:`repro.obs`). Records one
+        ``ranges.build`` event per core at construction, an
+        ``lmc.interactive`` / ``lmc.noninteractive`` event per core
+        choice (the per-core marginal costs Equation 27 / the
+        Equation 32 increase compared, and the argmin), and — through
+        the per-core queue indices — every real insert/delete and probe.
+        Decisions are bit-identical with and without a tracer.
     """
 
-    def __init__(self, models: Sequence[CostModel], seed: int = 0x5EED) -> None:
+    def __init__(self, models: Sequence[CostModel], seed: int = 0x5EED,
+                 tracer: "Optional[Tracer]" = None) -> None:
         if not models:
             raise ValueError("at least one core is required")
         re, rt = models[0].re, models[0].rt
@@ -57,8 +69,14 @@ class LeastMarginalCostPolicy:
                 raise ValueError("all cores must share the same Re and Rt")
         self.models = list(models)
         self.ranges = [DominatingRanges.cached(m) for m in models]
+        self._tracer = tracer
+        if tracer is not None:
+            from repro.obs.events import ranges_event_data
+
+            for j, r in enumerate(self.ranges):
+                tracer.emit("ranges.build", ranges_event_data(r, core=j))
         self.queues = [
-            DynamicCostIndex(m, r, seed=seed + j)
+            DynamicCostIndex(m, r, seed=seed + j, tracer=tracer, label=f"core{j}")
             for j, (m, r) in enumerate(zip(models, self.ranges))
         ]
         # Equation 27 inputs at each core's maximum frequency,
@@ -77,13 +95,16 @@ class LeastMarginalCostPolicy:
         return len(self.models)
 
     # -- core selection -----------------------------------------------------------
-    def choose_core_interactive(self, cycles: float, delayed_counts: Sequence[int]) -> int:
+    def choose_core_interactive(self, cycles: float, delayed_counts: Sequence[int],
+                                task: Any = None) -> int:
         """Equation 27 over all cores; returns the argmin core index.
 
         ``delayed_counts[j]`` is ``N_j`` — how many tasks on core ``j``
         the interactive task would push back (the caller counts waiting
         non-interactive tasks plus any task it would preempt).
-        Ties break to the lowest core index.
+        Ties break to the lowest core index. ``task`` only annotates the
+        trace event (when a tracer is attached) — it never affects the
+        decision.
         """
         if len(delayed_counts) != self.n_cores:
             raise ValueError("delayed_counts must have one entry per core")
@@ -103,10 +124,19 @@ class LeastMarginalCostPolicy:
             self._pm_time,
             np.asarray(delayed_counts, dtype=np.float64),
         )
-        return int(costs.argmin())
+        chosen = int(costs.argmin())
+        if self._tracer is not None:
+            data = {
+                "cycles": cycles, "costs": costs.tolist(), "chosen": chosen,
+                "delayed": list(delayed_counts),
+            }
+            self._annotate_task(data, task)
+            self._tracer.emit("lmc.interactive", data)
+        return chosen
 
     def choose_core_noninteractive(
-        self, cycles: float, head_delays: Optional[Sequence[float]] = None
+        self, cycles: float, head_delays: Optional[Sequence[float]] = None,
+        task: Any = None,
     ) -> int:
         """Least marginal queue-cost core for a non-interactive task.
 
@@ -116,10 +146,24 @@ class LeastMarginalCostPolicy:
         In the positional accounting, that work delays the newcomer by
         exactly ``Rt × head_delay``; without the term, an idle core and
         a core grinding through a huge task would price identically
-        when both queues are empty.
+        when both queues are empty. ``task`` only annotates the trace
+        event.
         """
         costs = self.marginal_insert_costs(cycles, head_delays)
-        return min(range(self.n_cores), key=costs.__getitem__)
+        chosen = min(range(self.n_cores), key=costs.__getitem__)
+        if self._tracer is not None:
+            data = {"cycles": cycles, "costs": list(costs), "chosen": chosen}
+            if head_delays is not None:
+                data["head_delays"] = list(head_delays)
+            self._annotate_task(data, task)
+            self._tracer.emit("lmc.noninteractive", data)
+        return chosen
+
+    @staticmethod
+    def _annotate_task(data: dict, task: Any) -> None:
+        if task is not None:
+            data["task_id"] = task.task_id
+            data["task"] = task.name
 
     def marginal_insert_costs(
         self, cycles: float, head_delays: Optional[Sequence[float]] = None

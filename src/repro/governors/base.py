@@ -39,6 +39,7 @@ class Governor(abc.ABC):
         """New rate given the last window's ``load`` ∈ [0, 1]."""
 
     def validate_load(self, load: float) -> None:
+        """Reject load samples outside [0, 1] (plus integration slack)."""
         if not (0.0 <= load <= 1.0 + LOAD_SLACK):
             raise ValueError(f"load must be within [0, 1], got {load}")
 

@@ -32,10 +32,12 @@ class ConservativeGovernor(Governor):
         self.down_threshold = down_threshold
 
     def initial_rate(self) -> float:
-        # conservative starts low and works its way up
+        """The lowest rate — conservative starts low and works its way up."""
         return self.available_rates()[0]
 
     def on_sample(self, load: float, current_rate: float) -> float:
+        """Step up one level above ``up_threshold``, down one below
+        ``down_threshold``, hold inside the hysteresis band."""
         self.validate_load(load)
         rates = self.available_rates()
         i = bisect.bisect_left(rates, current_rate)

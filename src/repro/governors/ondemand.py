@@ -34,6 +34,8 @@ class OnDemandGovernor(Governor):
         self.threshold = threshold
 
     def on_sample(self, load: float, current_rate: float) -> float:
+        """Jump to the maximum rate at/above ``threshold`` load, else
+        step down one level (Section V-A3's quoted behaviour)."""
         self.validate_load(load)
         rates = self.available_rates()
         if load >= self.threshold:

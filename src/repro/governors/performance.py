@@ -14,5 +14,6 @@ class PerformanceGovernor(Governor):
     """Pins the core at its maximum available frequency."""
 
     def on_sample(self, load: float, current_rate: float) -> float:
+        """Always the maximum available rate, whatever the load."""
         self.validate_load(load)
         return self.available_rates()[-1]

@@ -21,8 +21,10 @@ class PowerSavingGovernor(OnDemandGovernor):
         self._restricted = table.lower_half()
 
     def available_rates(self) -> tuple[float, ...]:
+        """The lower half of the core's frequency menu (Section V-A3)."""
         return self._restricted.rates
 
     @property
     def restricted_table(self) -> RateTable:
+        """The restricted :class:`RateTable` this governor selects from."""
         return self._restricted

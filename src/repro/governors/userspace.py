@@ -28,8 +28,10 @@ class UserspaceGovernor(Governor):
         self._rate = rate
 
     def initial_rate(self) -> float:
+        """The externally chosen fixed rate."""
         return self._rate
 
     def on_sample(self, load: float, current_rate: float) -> float:
+        """Hold the fixed rate — load never changes a userspace core."""
         self.validate_load(load)
         return self._rate

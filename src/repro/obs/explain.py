@@ -1,0 +1,213 @@
+"""``repro explain`` — reconstruct one task's (core, position, rate).
+
+Given a decision log (a sequence of :class:`~repro.obs.events.TraceEvent`)
+and a task — by ``task_id`` or by name — this module rebuilds the
+paper's arithmetic behind the task's placement:
+
+* a **batch** task placed by Algorithm 3 is explained from its
+  ``wbg.slot_pick`` event: the backward slot it was handed, which
+  Algorithm 1 dominating range that slot lies in (hence its rate), the
+  positional cost ``C*_j(k)`` that won the heap pop, and every other
+  core's candidate cost at that instant (the runner-ups);
+* an **online** task placed by LMC is explained from its
+  ``lmc.interactive`` (Equation 27) or ``lmc.noninteractive``
+  (Equation 32 increase) event — the per-core marginal costs and the
+  argmin — plus its ``dynamic.insert`` queue position/rate and any
+  ``sim.dispatch`` / ``sim.complete`` events recorded for it.
+
+The output is a structured :class:`Explanation` whose numeric fields
+are asserted against the analytic models by the golden tests; the
+``render()`` text cites the same numbers for humans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+from repro.obs.events import TraceEvent
+
+TaskKey = Union[int, str]
+
+
+class ExplainError(LookupError):
+    """The trace holds no decision events for the requested task."""
+
+
+def _matches(data: Any, key: TaskKey) -> bool:
+    if isinstance(key, int):
+        return data.get("task_id") == key
+    return data.get("task") == key
+
+
+def task_events(events: Sequence[TraceEvent], key: TaskKey) -> list[TraceEvent]:
+    """Every event mentioning the task, in trace order."""
+    return [e for e in events if _matches(e.data, key)]
+
+
+def _range_containing(ranges_event: Optional[TraceEvent], slot: int) -> Optional[list]:
+    if ranges_event is None:
+        return None
+    for rate, lo, hi in ranges_event.data["ranges"]:
+        if slot >= lo and (hi is None or slot < hi):
+            return [rate, lo, hi]
+    return None
+
+
+@dataclass
+class Explanation:
+    """The reconstructed placement decision for one task."""
+
+    key: TaskKey
+    task_id: Optional[int] = None
+    name: str = ""
+    mode: str = ""  # "batch" | "interactive" | "noninteractive"
+    core: Optional[int] = None
+    slot: Optional[int] = None  # backward position (batch / queue insert)
+    rate: Optional[float] = None
+    positional_cost: Optional[float] = None
+    candidates: list = field(default_factory=list)  # [core, slot-or-None, cost]
+    dominating_range: Optional[list] = None  # [rate, lo, hi]
+    pricing: Optional[tuple[float, float]] = None  # (re, rt)
+    marginal_costs: list = field(default_factory=list)  # per-core (online)
+    dispatches: list = field(default_factory=list)  # [time, core, rate]
+    completion: Optional[dict] = None
+
+    @property
+    def runner_up(self) -> Optional[list]:
+        """The cheapest alternative the scheduler did *not* take."""
+        others = [c for c in self.candidates if c[0] != self.core]
+        return min(others, key=lambda c: c[-1]) if others else None
+
+    def render(self) -> str:
+        """Human-readable reconstruction citing the paper's quantities."""
+        label = f"task {self.name!r}" if self.name else f"task id {self.task_id}"
+        lines = [f"{label} — decision reconstruction ({self.mode} mode)"]
+        if self.pricing is not None:
+            lines.append(f"  pricing: Re={self.pricing[0]:g} ¢/J, Rt={self.pricing[1]:g} ¢/s")
+        if self.mode == "batch":
+            lines.append(
+                f"  placed on core {self.core}, backward slot {self.slot}, "
+                f"at {self.rate:g} GHz"
+            )
+            if self.dominating_range is not None:
+                rate, lo, hi = self.dominating_range
+                hi_txt = "inf" if hi is None else str(hi - 1)
+                lines.append(
+                    f"  rate: backward position {self.slot} lies in the Algorithm 1 "
+                    f"dominating range of {rate:g} GHz (positions {lo}..{hi_txt}), "
+                    f"so Lemma 1 fixes the slot's rate"
+                )
+            lines.append(
+                f"  core: Algorithm 3 popped the globally cheapest next slot — "
+                f"C*_{self.core}({self.slot}) = {self.positional_cost:.6g}"
+            )
+            ru = self.runner_up
+            if ru is not None:
+                lines.append(
+                    f"  runner-up: core {ru[0]} slot {ru[1]} at "
+                    f"C*_{ru[0]}({ru[1]}) = {ru[2]:.6g} "
+                    f"(Δ = {ru[2] - self.positional_cost:+.3g})"
+                )
+        else:
+            eq = "Equation 27" if self.mode == "interactive" else "Equation 32 increase"
+            lines.append(
+                f"  core {self.core} chosen by least marginal cost ({eq}):"
+            )
+            for j, c in enumerate(self.marginal_costs):
+                marker = " <-- chosen (argmin)" if j == self.core else ""
+                lines.append(f"    core {j}: marginal cost {c:.6g}{marker}")
+            if self.slot is not None:
+                lines.append(
+                    f"  queued at backward position {self.slot} "
+                    f"-> dominating-range rate {self.rate:g} GHz"
+                )
+            if self.dominating_range is not None:
+                rate, lo, hi = self.dominating_range
+                hi_txt = "inf" if hi is None else str(hi - 1)
+                lines.append(
+                    f"  (position {self.slot} lies in the {rate:g} GHz dominating "
+                    f"range, positions {lo}..{hi_txt})"
+                )
+        for t, core, rate in self.dispatches:
+            lines.append(f"  dispatched at t={t:.6g}s on core {core} at {rate:g} GHz")
+        if self.completion is not None:
+            lines.append(
+                f"  completed at t={self.completion['time']:.6g}s: "
+                f"{self.completion['energy_joules']:.6g} J, "
+                f"turnaround {self.completion['turnaround']:.6g} s"
+            )
+        return "\n".join(lines)
+
+
+def explain_task(events: Sequence[TraceEvent], key: TaskKey) -> Explanation:
+    """Reconstruct why ``key`` got its (core, position, rate).
+
+    Raises :class:`ExplainError` when the trace carries no placement
+    decision for the task (wrong id, or the trace was recorded without
+    scheduler instrumentation).
+    """
+    mine = task_events(events, key)
+    out = Explanation(key=key)
+    # latest ranges.build per core seen before the decision (Lemma 1:
+    # they are static per platform/pricing, so "latest" is just "the one")
+    ranges_by_core: dict[Optional[int], TraceEvent] = {}
+    decision: Optional[TraceEvent] = None
+    for e in events:
+        if e.kind == "ranges.build":
+            ranges_by_core[e.data.get("core")] = e
+        if decision is None and e.kind in (
+            "wbg.slot_pick", "lmc.interactive", "lmc.noninteractive"
+        ) and _matches(e.data, key):
+            decision = e
+    if decision is None:
+        raise ExplainError(
+            f"trace contains no placement decision for task {key!r} "
+            f"({len(mine)} related event(s) found)"
+        )
+
+    d = decision.data
+    out.task_id = d.get("task_id")
+    out.name = d.get("task", "") or (key if isinstance(key, str) else "")
+
+    if decision.kind == "wbg.slot_pick":
+        out.mode = "batch"
+        out.core = d["core"]
+        out.slot = d["slot"]
+        out.rate = d["rate"]
+        out.positional_cost = d["positional_cost"]
+        out.candidates = [list(c) for c in d["candidates"]]
+        ranges_event = ranges_by_core.get(out.core, ranges_by_core.get(None))
+        out.dominating_range = _range_containing(ranges_event, out.slot)
+        if ranges_event is not None:
+            out.pricing = (ranges_event.data["re"], ranges_event.data["rt"])
+    else:
+        out.mode = ("interactive" if decision.kind == "lmc.interactive"
+                    else "noninteractive")
+        out.core = d["chosen"]
+        out.marginal_costs = list(d["costs"])
+        out.candidates = [[j, None, c] for j, c in enumerate(out.marginal_costs)]
+        for e in mine:
+            if e.kind == "dynamic.insert" and e.seq > decision.seq:
+                out.slot = e.data["position"]
+                out.rate = e.data["rate"]
+                break
+        ranges_event = ranges_by_core.get(out.core, ranges_by_core.get(None))
+        if out.slot is not None:
+            out.dominating_range = _range_containing(ranges_event, out.slot)
+        if ranges_event is not None:
+            out.pricing = (ranges_event.data["re"], ranges_event.data["rt"])
+        if out.mode == "interactive" and out.rate is None and ranges_event is not None:
+            # interactive tasks always execute at the core's maximum rate
+            out.rate = max(ranges_event.data["rates"])
+
+    for e in mine:
+        if e.kind == "sim.dispatch":
+            out.dispatches.append([e.data["time"], e.data["core"], e.data["rate"]])
+        elif e.kind == "sim.complete":
+            out.completion = {
+                "time": e.data["time"],
+                "energy_joules": e.data["energy_joules"],
+                "turnaround": e.data["turnaround"],
+            }
+    return out

@@ -50,15 +50,19 @@ class FixedAssignmentScheduler:
 
     # -- OnlinePolicy protocol --------------------------------------------------
     def select_core(self, task: Task, views: Sequence[CoreView]) -> int:
+        """The core the batch plan assigned this task to (no choice is
+        made online; unknown tasks are an error)."""
         try:
             return self._core_of[task.task_id]
         except KeyError:
             raise ValueError(f"task {task.task_id} is not in the plan") from None
 
     def enqueue_noninteractive(self, core: int, task: Task) -> None:
+        """Mark the task as arrived; its lane position was fixed by the plan."""
         self._arrived.add(task.task_id)
 
     def dequeue_noninteractive(self, core: int) -> Optional[Task]:
+        """The next task in the plan's lane order, if it has arrived."""
         lane = self._lanes[core]
         if lane and lane[0] in self._arrived:
             tid = lane.popleft()
@@ -67,7 +71,9 @@ class FixedAssignmentScheduler:
         return None
 
     def rate_for_noninteractive(self, core: int, task: Task) -> Optional[float]:
-        return None  # governor-controlled
+        """``None`` — rates are left to the core's live governor."""
+        return None
 
     def rate_for_interactive(self, core: int, task: Task) -> Optional[float]:
-        return None  # governor-controlled
+        """``None`` — rates are left to the core's live governor."""
+        return None

@@ -37,6 +37,7 @@ class LMCOnlineScheduler:
         rt: float,
         seed: int = 0x5EED,
         estimator=None,
+        tracer=None,
     ) -> None:
         if n_cores < 1:
             raise ValueError("n_cores must be >= 1")
@@ -45,7 +46,7 @@ class LMCOnlineScheduler:
         if len(table_list) != n_cores:
             raise ValueError("need one rate table per core")
         self.policy = LeastMarginalCostPolicy(
-            [CostModel(t, re, rt) for t in table_list], seed=seed
+            [CostModel(t, re, rt) for t in table_list], seed=seed, tracer=tracer
         )
         self.estimator = estimator
         self._handles: dict[int, tuple[int, RangeTreeNode]] = {}  # task_id -> (core, node)
@@ -60,13 +61,16 @@ class LMCOnlineScheduler:
 
     # -- OnlinePolicy protocol --------------------------------------------------------
     def select_core(self, task: Task, views: Sequence[CoreView]) -> int:
+        """The least-marginal-cost core: Eq. 27 for interactive tasks,
+        the dynamic-index marginal insert cost for non-interactive."""
         if task.kind is TaskKind.INTERACTIVE:
             delayed = [
                 self.policy.waiting_count(j)
                 + (1 if views[j].running_kind is TaskKind.NONINTERACTIVE else 0)
                 for j in range(self.n_cores)
             ]
-            return self.policy.choose_core_interactive(self._cycles(task), delayed)
+            return self.policy.choose_core_interactive(self._cycles(task), delayed,
+                                                       task=task)
         # seconds of head-of-line work not represented in the queue index:
         # the running task plus any preempted task, at the core's current rate
         head_delays = [
@@ -74,13 +78,16 @@ class LMCOnlineScheduler:
             * self.policy.models[j].table.time(v.current_rate)
             for j, v in enumerate(views)
         ]
-        return self.policy.choose_core_noninteractive(self._cycles(task), head_delays)
+        return self.policy.choose_core_noninteractive(self._cycles(task), head_delays,
+                                                      task=task)
 
     def enqueue_noninteractive(self, core: int, task: Task) -> None:
+        """Insert into the core's dynamic cost index (cycle-sorted)."""
         node = self.policy.enqueue(core, self._cycles(task), payload=task)
         self._handles[task.task_id] = (core, node)
 
     def dequeue_noninteractive(self, core: int) -> Optional[Task]:
+        """Pop the index head — the shortest waiting job on that core."""
         popped = self.policy.pop_head(core)
         if popped is None:
             return None
@@ -89,10 +96,12 @@ class LMCOnlineScheduler:
         return task
 
     def rate_for_noninteractive(self, core: int, task: Task) -> Optional[float]:
-        # forward position 1 → backward position (waiting + 1)
+        """The dominating rate for the running slot — forward position 1
+        maps to backward position (waiting + 1)."""
         return self.policy.running_rate(core)
 
     def rate_for_interactive(self, core: int, task: Task) -> Optional[float]:
+        """The paper's interactive rate (maximum frequency, Section IV-C)."""
         return self.policy.interactive_rate(core)
 
     def on_complete(self, core: int, task: Task) -> None:

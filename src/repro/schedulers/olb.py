@@ -88,20 +88,26 @@ class OLBOnlineScheduler:
 
     # -- OnlinePolicy protocol -------------------------------------------------------
     def select_core(self, task: Task, views: Sequence[CoreView]) -> int:
+        """The core that could start this task soonest (ties → lowest
+        index), per OLB's earliest-ready placement."""
         return min(
             range(self.n_cores),
             key=lambda j: (self._ready_in(j, views[j], task.kind), j),
         )
 
     def enqueue_noninteractive(self, core: int, task: Task) -> None:
+        """Append to the core's FIFO queue (same-priority tasks run FIFO)."""
         self._queues[core].append(task)
 
     def dequeue_noninteractive(self, core: int) -> Optional[Task]:
+        """Pop the core's FIFO head, if any."""
         q = self._queues[core]
         return q.popleft() if q else None
 
     def rate_for_noninteractive(self, core: int, task: Task) -> Optional[float]:
+        """The core's maximum rate — OLB always runs flat out."""
         return self._tables[core].max_rate
 
     def rate_for_interactive(self, core: int, task: Task) -> Optional[float]:
+        """The core's maximum rate — OLB always runs flat out."""
         return self._tables[core].max_rate

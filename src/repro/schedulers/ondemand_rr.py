@@ -31,19 +31,24 @@ class OnDemandRoundRobinScheduler:
         self._queues: list[deque[Task]] = [deque() for _ in range(n_cores)]
 
     def select_core(self, task: Task, views: Sequence[CoreView]) -> int:
+        """Strict round robin: the next core in cyclic order."""
         j = self._next
         self._next = (self._next + 1) % self.n_cores
         return j
 
     def enqueue_noninteractive(self, core: int, task: Task) -> None:
+        """Append to the core's FIFO queue."""
         self._queues[core].append(task)
 
     def dequeue_noninteractive(self, core: int) -> Optional[Task]:
+        """Pop the core's FIFO head, if any."""
         q = self._queues[core]
         return q.popleft() if q else None
 
     def rate_for_noninteractive(self, core: int, task: Task) -> Optional[float]:
-        return None  # governor-controlled
+        """``None`` — the on-demand governor owns the frequency."""
+        return None
 
     def rate_for_interactive(self, core: int, task: Task) -> Optional[float]:
-        return None  # governor-controlled
+        """``None`` — the on-demand governor owns the frequency."""
+        return None

@@ -59,24 +59,30 @@ class SJFMaxRateScheduler:
 
     # -- OnlinePolicy protocol --------------------------------------------------
     def select_core(self, task: Task, views: Sequence[CoreView]) -> int:
+        """The core that could start this task soonest (ties → lowest
+        index), counting the cycle-sorted backlog ahead of it."""
         return min(
             range(self.n_cores),
             key=lambda j: (self._ready_in(j, views[j], task.kind), j),
         )
 
     def enqueue_noninteractive(self, core: int, task: Task) -> None:
+        """Insert in shortest-job-first order: sorted by (cycles, task_id)."""
         entry = (task.cycles, task.task_id, task)
         q = self._queues[core]
         q.insert(bisect.bisect(q, entry[:2], key=lambda e: (e[0], e[1])), entry)
 
     def dequeue_noninteractive(self, core: int) -> Optional[Task]:
+        """Pop the shortest queued job, if any."""
         q = self._queues[core]
         if not q:
             return None
         return q.pop(0)[2]
 
     def rate_for_noninteractive(self, core: int, task: Task) -> Optional[float]:
+        """The core's maximum rate — SJF does not scale frequency."""
         return self._tables[core].max_rate
 
     def rate_for_interactive(self, core: int, task: Task) -> Optional[float]:
+        """The core's maximum rate — SJF does not scale frequency."""
         return self._tables[core].max_rate

@@ -8,12 +8,15 @@ uniformly.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from repro.core.batch_multi import WorkloadBasedGreedy
 from repro.models.cost import CoreSchedule, CostModel
 from repro.models.rates import RateTable
 from repro.models.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 
 def wbg_plan(
@@ -23,6 +26,7 @@ def wbg_plan(
     re: float,
     rt: float,
     kernel: str = "auto",
+    tracer: "Optional[Tracer]" = None,
 ) -> list[CoreSchedule]:
     """Optimal batch plan via Workload Based Greedy (Algorithm 3).
 
@@ -31,7 +35,9 @@ def wbg_plan(
     :meth:`~repro.core.batch_multi.WorkloadBasedGreedy.schedule` —
     ``"scalar"`` (heap loop), ``"vector"`` (NumPy merge over memoized
     positional costs), or ``"auto"`` (pick by batch size); all produce
-    bit-identical plans.
+    bit-identical plans. ``tracer`` (see :mod:`repro.obs`) records the
+    Algorithm 1 ranges and every Algorithm 3 slot pick without changing
+    the plan.
     """
     if n_cores < 1:
         raise ValueError("n_cores must be >= 1")
@@ -41,4 +47,4 @@ def wbg_plan(
         if len(table) != n_cores:
             raise ValueError("need one rate table per core")
         models = [CostModel(t, re, rt) for t in table]
-    return WorkloadBasedGreedy(models).schedule(tasks, kernel=kernel)
+    return WorkloadBasedGreedy(models, tracer=tracer).schedule(tasks, kernel=kernel)

@@ -85,6 +85,8 @@ class WBGRerunScheduler:
 
     # -- OnlinePolicy protocol -------------------------------------------------------
     def select_core(self, task: Task, views: Sequence[CoreView]) -> int:
+        """Interactive tasks go to the Eq. 27 argmin core; non-interactive
+        arrivals trigger a full WBG re-plan that decides their core."""
         if task.kind is TaskKind.INTERACTIVE:
             delayed = [
                 len(self._queues[j])
@@ -106,13 +108,16 @@ class WBGRerunScheduler:
         return core
 
     def enqueue_noninteractive(self, core: int, task: Task) -> None:
+        """Record the task in its re-planned lane (no-op if the re-plan
+        in :meth:`select_core` already placed it)."""
         if self._pending_planned == task.task_id:
             self._pending_planned = None
-            return  # placed by the re-plan in select_core
+            return
         self._queues[core].append(task)
         self._home[task.task_id] = core
 
     def dequeue_noninteractive(self, core: int) -> Optional[Task]:
+        """Pop the head of the core's current WBG lane, if any."""
         q = self._queues[core]
         if not q:
             return None
@@ -121,8 +126,10 @@ class WBGRerunScheduler:
         return task
 
     def rate_for_noninteractive(self, core: int, task: Task) -> Optional[float]:
-        # running task sits at backward position (waiting + 1), as in LMC
+        """The dominating rate for backward position (waiting + 1) — the
+        running task's slot, as in LMC."""
         return self.ranges[core].rate_for(len(self._queues[core]) + 1)
 
     def rate_for_interactive(self, core: int, task: Task) -> Optional[float]:
+        """The core's maximum rate (interactive tasks run flat out)."""
         return self.models[core].table.max_rate

@@ -41,6 +41,7 @@ class YDSPiece:
 
     @property
     def duration(self) -> float:
+        """Execution time at the assigned speed: cycles / speed."""
         return self.task.cycles / self.speed
 
 
@@ -53,6 +54,7 @@ class YDSSchedule:
     max_speed: float
 
     def speed_of(self, task_id: int) -> float:
+        """The speed YDS assigned to the given task (KeyError if absent)."""
         for piece in self.pieces:
             if piece.task.task_id == task_id:
                 return piece.speed

@@ -41,13 +41,22 @@ class EventHandle:
 
 
 class Simulation:
-    """Clock + event queue. Time is in seconds, starts at 0."""
+    """Clock + event queue. Time is in seconds, starts at 0.
 
-    def __init__(self) -> None:
+    ``tracer`` (see :mod:`repro.obs.tracer`) is an opt-in firehose: it
+    records one ``sim.event`` per non-cancelled callback fired, stamped
+    with simulated time and the event's label. Runners that emit their
+    own structured events (``sim.dispatch`` / ``sim.complete`` / …)
+    normally leave it ``None`` — the default costs one ``is not None``
+    test per event.
+    """
+
+    def __init__(self, tracer=None) -> None:
         self.now = 0.0
         self._queue: list[EventHandle] = []
         self._seq = itertools.count()
         self._events_fired = 0
+        self._tracer = tracer
 
     # -- scheduling -------------------------------------------------------------
     def at(self, time: float, callback: Callable[[], None], label: str = "") -> EventHandle:
@@ -86,6 +95,9 @@ class Simulation:
             self._events_fired += 1
             if self._events_fired > max_events:
                 raise RuntimeError(f"simulation exceeded {max_events} events — runaway loop?")
+            if self._tracer is not None:
+                self._tracer.emit("sim.event", {"time": head.time, "label": head.label},
+                                  time=head.time)
             callback = head.callback
             assert callback is not None
             callback()
@@ -98,6 +110,9 @@ class Simulation:
                 continue
             self.now = head.time
             self._events_fired += 1
+            if self._tracer is not None:
+                self._tracer.emit("sim.event", {"time": head.time, "label": head.label},
+                                  time=head.time)
             callback = head.callback
             assert callback is not None
             callback()

@@ -220,6 +220,7 @@ def run_online(
     tables: Sequence[RateTable] | RateTable,
     governors: Optional[Sequence[Governor]] = None,
     idle_power: float = 0.0,
+    tracer=None,
 ) -> OnlineResult:
     """Simulate an online trace under ``policy``. Returns measurements.
 
@@ -235,6 +236,11 @@ def run_online(
         Optional per-core governors. When given, they sample load every
         ``sampling_period`` seconds and set frequencies whenever the
         policy declines to (returns ``None`` from a rate method).
+    tracer:
+        Optional decision tracer (:mod:`repro.obs`): records
+        ``sim.dispatch`` / ``sim.complete`` / ``sim.preempt`` /
+        ``sim.rate`` events at simulated time. Measurements are
+        bit-identical with and without it.
     """
     n = policy.n_cores
     if n < 1:
@@ -298,6 +304,11 @@ def run_online(
         cs = cores[j]
         if rate == cs.current_rate:
             return
+        if tracer is not None:
+            tracer.emit("sim.rate",
+                        {"time": sim.now, "core": j, "rate": rate,
+                         "prev_rate": cs.current_rate},
+                        time=sim.now)
         cs.sim.set_rate(rate, sim.now)
         cs.current_rate = rate
         if cs.running is not None:
@@ -325,6 +336,12 @@ def run_online(
         cs.sim.start(execution, cs.current_rate, sim.now)
         cs.running = execution
         cs.running_kind = kind
+        if tracer is not None:
+            tracer.emit("sim.dispatch",
+                        {"time": sim.now, "core": j, "task_id": execution.task.task_id,
+                         "task": execution.task.name, "task_kind": kind.name,
+                         "rate": cs.current_rate},
+                        time=sim.now)
         mark_busy(j)
         schedule_completion(j)
 
@@ -374,6 +391,13 @@ def run_online(
             )
         )
         outstanding -= 1
+        if tracer is not None:
+            tracer.emit("sim.complete",
+                        {"time": sim.now, "core": j, "task_id": execution.task.task_id,
+                         "task": execution.task.name,
+                         "energy_joules": execution.energy_joules,
+                         "turnaround": execution.finished_at - execution.task.arrival},
+                        time=sim.now)
         on_complete_hook = getattr(policy, "on_complete", None)
         if on_complete_hook is not None:
             on_complete_hook(j, execution.task)
@@ -398,6 +422,12 @@ def run_online(
                     cs.completion.cancel()
                     cs.completion = None
                 cs.preempted = cs.sim.preempt(sim.now)
+                if tracer is not None:
+                    tracer.emit("sim.preempt",
+                                {"time": sim.now, "core": j,
+                                 "task_id": cs.preempted.task.task_id,
+                                 "task": cs.preempted.task.name},
+                                time=sim.now)
                 cs.running = None
                 cs.running_kind = None
                 execution = TaskExecution(task=task, remaining_cycles=task.cycles)

@@ -74,10 +74,10 @@ class TestCommands:
         assert "Pareto frontier" in out
         assert "Energy (J)" in out
 
-    def test_trace_jsonl(self, capsys, tmp_path):
+    def test_workload_jsonl(self, capsys, tmp_path):
         out_path = str(tmp_path / "t.jsonl")
         assert main([
-            "trace", "--interactive", "20", "--noninteractive", "5",
+            "workload", "--interactive", "20", "--noninteractive", "5",
             "--duration", "30", out_path,
         ]) == 0
         from repro.workloads import load_trace_jsonl
@@ -85,16 +85,52 @@ class TestCommands:
         loaded = load_trace_jsonl(out_path)
         assert len(loaded) == 25
 
-    def test_trace_csv(self, tmp_path):
+    def test_workload_csv(self, tmp_path):
         out_path = str(tmp_path / "t.csv")
         assert main([
-            "trace", "--interactive", "5", "--noninteractive", "2",
+            "workload", "--interactive", "5", "--noninteractive", "2",
             "--duration", "10", out_path,
         ]) == 0
         from repro.workloads import load_trace_csv
 
         assert len(load_trace_csv(out_path)) == 7
 
-    def test_trace_bad_extension(self, tmp_path):
-        assert main(["trace", "--interactive", "1", "--noninteractive", "1",
+    def test_workload_bad_extension(self, tmp_path):
+        assert main(["workload", "--interactive", "1", "--noninteractive", "1",
                      str(tmp_path / "t.txt")]) == 2
+
+    def test_trace_prints_decision_log(self, capsys):
+        assert main(["trace", "wbg", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "wbg.slot_pick" in out
+        assert "ranges.build" in out
+        assert "more (use --limit" in out
+
+    def test_trace_writes_jsonl(self, capsys, tmp_path):
+        out_path = str(tmp_path / "decisions.jsonl")
+        assert main(["trace", "lmc", "--out", out_path]) == 0
+        from repro.obs import read_trace
+
+        events = read_trace(out_path)
+        assert events
+        assert any(e.kind == "lmc.interactive" for e in events)
+
+    def test_explain_from_scenario(self, capsys):
+        assert main(["explain", "perlbench/ref"]) == 0
+        out = capsys.readouterr().out
+        assert "batch mode" in out
+        assert "Algorithm 1 dominating range" in out
+        assert "Algorithm 3" in out
+
+    def test_explain_from_trace_file(self, capsys, tmp_path):
+        out_path = str(tmp_path / "decisions.jsonl")
+        assert main(["trace", "lmc", "--out", out_path]) == 0
+        capsys.readouterr()
+        assert main(["explain", "query0", "--trace", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "least marginal cost" in out
+        assert "Equation 27" in out
+
+    def test_explain_unknown_task(self, capsys):
+        assert main(["explain", "no-such-task"]) == 1
+        assert "no placement decision" in capsys.readouterr().out

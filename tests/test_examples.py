@@ -73,6 +73,14 @@ def test_energy_frontier():
     assert "Budget (J)" in out
 
 
+def test_traced_run():
+    out = run_example("traced_run.py")
+    assert "plan bit-identical" in out
+    assert "wbg.slot_pick" in out
+    assert "decision reconstruction" in out
+    assert "match DominatingRanges exactly" in out
+
+
 @pytest.mark.slow
 def test_profiled_estimation():
     out = run_example("profiled_estimation.py", timeout=400.0)

@@ -81,7 +81,7 @@ class TestPackageMetadata:
         for pkg in (
             "repro", "repro.models", "repro.core", "repro.structures",
             "repro.simulator", "repro.governors", "repro.schedulers",
-            "repro.workloads", "repro.analysis", "repro.perf",
+            "repro.workloads", "repro.analysis", "repro.perf", "repro.obs",
         ):
             mod = importlib.import_module(pkg)
             assert mod.__doc__ and len(mod.__doc__) > 40, f"{pkg} lacks a docstring"
@@ -95,6 +95,68 @@ class TestPackageMetadata:
             tree = ast.parse(path.read_text())
             doc = ast.get_docstring(tree)
             assert doc and len(doc) > 20, f"{path} lacks a module docstring"
+
+
+class TestDocsDrift:
+    """The doc-drift gate (`make docs-check`): README indexes every doc,
+    docs/API.md tracks the real CLI, and relative Markdown links resolve."""
+
+    # [text](target) — good enough for this repo's plain Markdown; we skip
+    # absolute URLs and in-page anchors below.
+    LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+    @staticmethod
+    def cli_subcommands() -> list[str]:
+        import argparse
+
+        from repro.cli import build_parser
+
+        sub = next(
+            a for a in build_parser()._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        return sorted(sub.choices)
+
+    def test_every_docs_file_linked_from_readme(self):
+        readme = read("README.md")
+        for path in sorted((ROOT / "docs").glob("*.md")):
+            assert f"docs/{path.name}" in readme, (
+                f"README.md does not link docs/{path.name} — "
+                "add it to the Documentation index"
+            )
+
+    def test_every_cli_subcommand_in_api_doc(self):
+        api = read("docs/API.md")
+        for name in self.cli_subcommands():
+            # `name` alone, or `name ARGS...` / `name {choices}` in a table row
+            assert re.search(rf"`{name}[` {{]", api), (
+                f"docs/API.md does not document the `{name}` subcommand"
+            )
+
+    def test_api_doc_synopsis_matches_parser(self):
+        # the fenced synopsis block must name every subcommand too
+        api = read("docs/API.md")
+        synopsis = api[api.index("repro-dvfs"):]
+        synopsis = synopsis[:synopsis.index("```")]
+        for name in self.cli_subcommands():
+            assert re.search(rf"\b{name}\b", synopsis), (
+                f"docs/API.md synopsis missing {name}"
+            )
+
+    def test_relative_markdown_links_resolve(self):
+        files = [ROOT / "README.md", ROOT / "DESIGN.md"]
+        files += sorted((ROOT / "docs").glob("*.md"))
+        problems = []
+        for f in files:
+            for target in self.LINK_RE.findall(f.read_text()):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                rel = target.split("#", 1)[0]
+                if rel and not (f.parent / rel).exists():
+                    problems.append(
+                        f"{f.relative_to(ROOT)}: broken link {target}"
+                    )
+        assert not problems, "\n".join(problems)
 
 
 class TestBenchmarksDoc:
