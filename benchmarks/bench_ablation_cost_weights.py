@@ -7,37 +7,36 @@ nearly free, WBG converges to all-minimum-frequency (beats OLB hugely
 on energy); when energy is nearly free, WBG converges to all-maximum
 (ties OLB). The crossover structure is the design insight behind the
 dominating ranges.
+
+The ratio grid is the registered ``cost_weights`` sweep (``repro sweep
+cost_weights``); set ``REPRO_SWEEP_JOBS=N`` to shard the cells across
+worker processes with a bit-identical merge (docs/PARALLELISM.md).
 """
+
+import os
 
 import pytest
 
 from conftest import emit
-from repro.analysis.metrics import improvement_summary
 from repro.analysis.reporting import format_table
 from repro.models.rates import TABLE_II
-from repro.schedulers import olb_plan, power_saving_plan, wbg_plan
-from repro.simulator import run_batch
-from repro.workloads import spec_tasks
+from repro.perf.sweep import COST_WEIGHT_RATIOS, run_sweep
+from repro.schedulers import wbg_plan
 
-RATIOS = [(0.4, 0.04), (0.1, 0.1), (0.1, 0.4), (0.02, 0.4), (0.004, 0.4)]
-
-
-def _sweep(tasks):
-    rows = []
-    for re, rt in RATIOS:
-        costs = {
-            "WBG": run_batch(wbg_plan(tasks, TABLE_II, 4, re, rt), TABLE_II).cost(re, rt),
-            "OLB": run_batch(olb_plan(tasks, TABLE_II, 4), TABLE_II).cost(re, rt),
-            "PS": run_batch(power_saving_plan(tasks, TABLE_II, 4), TABLE_II).cost(re, rt),
-        }
-        vs_olb = improvement_summary(costs, "WBG", "OLB")["total_pct"]
-        vs_ps = improvement_summary(costs, "WBG", "PS")["total_pct"]
-        rows.append((f"{re:g}:{rt:g}", f"{vs_olb:+.1f}%", f"{vs_ps:+.1f}%"))
-    return rows
+JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "1"))
 
 
-def test_cost_weight_sweep(benchmark, spec_batch):
-    rows = benchmark.pedantic(_sweep, args=(spec_batch,), rounds=1, iterations=1)
+def test_cost_weight_sweep(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_sweep("cost_weights", jobs=JOBS), rounds=1, iterations=1
+    )
+    assert [(row["re"], row["rt"]) for row in run.rows] == list(COST_WEIGHT_RATIOS)
+    rows = [
+        (f"{row['re']:g}:{row['rt']:g}",
+         f"{row['vs_olb_total_pct']:+.1f}%",
+         f"{row['vs_ps_total_pct']:+.1f}%")
+        for row in run.rows
+    ]
     emit(
         format_table(
             ["Re:Rt", "WBG vs OLB (total)", "WBG vs PS (total)"],
@@ -47,7 +46,7 @@ def test_cost_weight_sweep(benchmark, spec_batch):
     )
     # WBG never loses (it provably minimises the objective), and its win
     # over OLB grows as energy gets relatively more expensive.
-    olb_margins = [float(r[1].rstrip("%")) for r in rows]
+    olb_margins = [row["vs_olb_total_pct"] for row in run.rows]
     assert all(m <= 1e-6 for m in olb_margins)
     assert olb_margins[0] >= olb_margins[-1] - 1e-9 or min(olb_margins) < -10.0
 

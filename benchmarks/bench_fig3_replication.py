@@ -5,63 +5,37 @@ Figure 3 experiment is repeated across trace seeds and the LMC-vs-OLB
 total-cost improvement is reported as mean with a 95 % bootstrap CI —
 evidence that the headline is a property of the workload *shape*, not
 of one lucky draw.
+
+The per-seed grid is the registered ``fig3_replication`` sweep
+(``repro sweep fig3_replication``); set ``REPRO_SWEEP_JOBS=N`` to fan
+the seeds out across worker processes — the merged rows are
+bit-identical to a serial run (docs/PARALLELISM.md).
 """
+
+import os
 
 import pytest
 
-from conftest import RE_ONLINE, RT_ONLINE, emit
-from repro.analysis.metrics import improvement_summary
+from conftest import emit
 from repro.analysis.stats import bootstrap_ci
-from repro.governors import OnDemandGovernor
-from repro.models.rates import TABLE_II
-from repro.schedulers import (
-    LMCOnlineScheduler,
-    OLBOnlineScheduler,
-    OnDemandRoundRobinScheduler,
-)
-from repro.simulator import run_online
-from repro.workloads import JudgeTraceConfig, generate_judge_trace
+from repro.perf.sweep import FIG3_SEEDS, run_sweep
 
-SEEDS = [11, 23, 37, 41, 59]
-
-
-def _margins(seed: int) -> tuple[float, float]:
-    cfg = JudgeTraceConfig(
-        n_interactive=3000, n_noninteractive=200, duration_s=450.0, seed=seed
-    )
-    trace = generate_judge_trace(cfg)
-    costs = {
-        "LMC": run_online(
-            trace, LMCOnlineScheduler(TABLE_II, 4, RE_ONLINE, RT_ONLINE), TABLE_II
-        ).cost(RE_ONLINE, RT_ONLINE),
-        "OLB": run_online(trace, OLBOnlineScheduler(TABLE_II, 4), TABLE_II).cost(
-            RE_ONLINE, RT_ONLINE
-        ),
-        "OD": run_online(
-            trace,
-            OnDemandRoundRobinScheduler(4),
-            TABLE_II,
-            governors=[OnDemandGovernor(TABLE_II) for _ in range(4)],
-        ).cost(RE_ONLINE, RT_ONLINE),
-    }
-    return (
-        improvement_summary(costs, "LMC", "OLB")["total_pct"],
-        improvement_summary(costs, "LMC", "OD")["total_pct"],
-    )
+JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "1"))
 
 
 def test_fig3_margins_across_seeds(benchmark):
-    results = benchmark.pedantic(
-        lambda: [_margins(s) for s in SEEDS], rounds=1, iterations=1
+    run = benchmark.pedantic(
+        lambda: run_sweep("fig3_replication", jobs=JOBS), rounds=1, iterations=1
     )
-    vs_olb = [r[0] for r in results]
-    vs_od = [r[1] for r in results]
+    assert [row["seed"] for row in run.rows] == list(FIG3_SEEDS)
+    vs_olb = [row["vs_olb_total_pct"] for row in run.rows]
+    vs_od = [row["vs_od_total_pct"] for row in run.rows]
     ci_olb = bootstrap_ci(vs_olb, seed=1)
     ci_od = bootstrap_ci(vs_od, seed=1)
     emit(
-        f"LMC vs OLB total-cost margin over {len(SEEDS)} seeds: "
+        f"LMC vs OLB total-cost margin over {len(FIG3_SEEDS)} seeds: "
         f"{ci_olb.mean:+.1f}% [{ci_olb.lo:+.1f}, {ci_olb.hi:+.1f}] (paper −17%)\n"
-        f"LMC vs OD  total-cost margin over {len(SEEDS)} seeds: "
+        f"LMC vs OD  total-cost margin over {len(FIG3_SEEDS)} seeds: "
         f"{ci_od.mean:+.1f}% [{ci_od.lo:+.1f}, {ci_od.hi:+.1f}] (paper −24%)"
     )
     # LMC wins on every seed, and the whole interval is negative

@@ -4,81 +4,67 @@ The paper evaluates a quad-core; data centers and phones have other
 shapes. This sweep re-runs the batch comparison at 1-16 cores and the
 (scaled) online comparison at 2-8 cores, reporting WBG's and LMC's
 total-cost margins per configuration.
+
+Both halves are cells of the registered ``core_count`` sweep
+(``repro sweep core_count``); set ``REPRO_SWEEP_JOBS=N`` to shard the
+grid across worker processes with a bit-identical merge
+(docs/PARALLELISM.md).
 """
+
+import os
 
 import pytest
 
-from conftest import RE_BATCH, RE_ONLINE, RT_BATCH, RT_ONLINE, emit
+from conftest import emit
 from repro.analysis.reporting import format_table
-from repro.analysis.sweep import grid, run_sweep
-from repro.models.rates import TABLE_II
-from repro.schedulers import (
-    LMCOnlineScheduler,
-    OLBOnlineScheduler,
-    olb_plan,
-    power_saving_plan,
-    wbg_plan,
-)
-from repro.simulator import run_batch, run_online
-from repro.workloads import JudgeTraceConfig, generate_judge_trace, spec_tasks
+from repro.perf.sweep import CORE_COUNTS_BATCH, CORE_COUNTS_ONLINE, run_sweep
+
+JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "1"))
 
 
-def _batch_cell(n_cores):
-    tasks = spec_tasks()
-    return {
-        "WBG": run_batch(wbg_plan(tasks, TABLE_II, n_cores, RE_BATCH, RT_BATCH),
-                         TABLE_II).cost(RE_BATCH, RT_BATCH),
-        "OLB": run_batch(olb_plan(tasks, TABLE_II, n_cores), TABLE_II).cost(
-            RE_BATCH, RT_BATCH),
-        "PS": run_batch(power_saving_plan(tasks, TABLE_II, n_cores), TABLE_II).cost(
-            RE_BATCH, RT_BATCH),
-    }
+def _rows(run, mode):
+    return [row for row in run.rows if row["mode"] == mode]
 
 
 def test_batch_margin_vs_core_count(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_sweep(grid(n_cores=[1, 2, 4, 8, 16]), _batch_cell),
-        rounds=1, iterations=1,
+    run = benchmark.pedantic(
+        lambda: run_sweep("core_count", jobs=JOBS), rounds=1, iterations=1
     )
-    rows = result.table_rows("WBG", ["OLB", "PS"])
+    batch = _rows(run, "batch")
+    assert [row["n_cores"] for row in batch] == list(CORE_COUNTS_BATCH)
+    rows = [
+        (f"n_cores={row['n_cores']}",
+         f"{row['vs_olb_total_pct']:+.1f}%",
+         f"{row['vs_ps_total_pct']:+.1f}%")
+        for row in batch
+    ]
     emit(format_table(
         ["Configuration", "WBG vs OLB", "WBG vs PS"], rows,
         title="Batch total-cost margin vs core count (24 SPEC tasks)",
     ))
     # WBG never loses at any width (it is optimal for the objective)
-    for x, margin in result.series("n_cores", "WBG", "OLB"):
-        assert margin <= 1e-9, f"WBG lost at {x} cores"
+    for row in batch:
+        assert row["vs_olb_total_pct"] <= 1e-9, f"WBG lost at {row['n_cores']} cores"
     # with more cores, queues shorten: positions (and rates) drop, and the
     # energy advantage persists — the margin stays meaningfully negative
-    margins = dict(result.series("n_cores", "WBG", "OLB"))
+    margins = {row["n_cores"]: row["vs_olb_total_pct"] for row in batch}
     assert margins[4] < -15.0  # the paper's configuration
     assert margins[16] < -15.0
 
 
-def _online_cell(n_cores):
-    cfg = JudgeTraceConfig(
-        n_interactive=2500, n_noninteractive=int(50 * n_cores),
-        duration_s=450.0, seed=31,
-    )
-    trace = generate_judge_trace(cfg)
-    return {
-        "LMC": run_online(
-            trace, LMCOnlineScheduler(TABLE_II, n_cores, RE_ONLINE, RT_ONLINE),
-            TABLE_II).cost(RE_ONLINE, RT_ONLINE),
-        "OLB": run_online(trace, OLBOnlineScheduler(TABLE_II, n_cores),
-                          TABLE_II).cost(RE_ONLINE, RT_ONLINE),
-    }
-
-
 def test_online_margin_vs_core_count(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_sweep(grid(n_cores=[2, 4, 8]), _online_cell),
-        rounds=1, iterations=1,
+    run = benchmark.pedantic(
+        lambda: run_sweep("core_count", jobs=JOBS), rounds=1, iterations=1
     )
-    rows = result.table_rows("LMC", ["OLB"])
+    online = _rows(run, "online")
+    assert [row["n_cores"] for row in online] == list(CORE_COUNTS_ONLINE)
+    rows = [
+        (f"n_cores={row['n_cores']}", f"{row['vs_olb_total_pct']:+.1f}%")
+        for row in online
+    ]
     emit(format_table(
         ["Configuration", "LMC vs OLB"], rows,
         title="Online total-cost margin vs core count (load scaled with cores)",
     ))
-    for x, margin in result.series("n_cores", "LMC", "OLB"):
-        assert margin < 0, f"LMC lost at {x} cores"
+    for row in online:
+        assert row["vs_olb_total_pct"] < 0, f"LMC lost at {row['n_cores']} cores"

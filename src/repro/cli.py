@@ -15,11 +15,16 @@ Installed as ``repro-dvfs`` (also ``python -m repro``). Subcommands:
   (or save) the structured decision log (see docs/OBSERVABILITY.md);
 * ``explain`` — reconstruct why a task got its core / position / rate
   from a decision trace, citing the paper's equations;
-* ``fuzz`` — seeded differential fuzzer (fast vs naive implementations);
+* ``fuzz`` — seeded differential fuzzer (fast vs naive implementations;
+  ``--jobs N`` shards the case sweep deterministically);
 * ``lint`` — domain-aware static analysis (determinism / tolerance /
   scheduler-contract rules; see docs/STATIC_ANALYSIS.md);
 * ``bench`` — deterministic perf suite with a regression gate against
-  the committed ``BENCH_schedulers.json`` (see docs/PERFORMANCE.md).
+  the committed ``BENCH_schedulers.json`` (see docs/PERFORMANCE.md;
+  ``--jobs N`` runs scenarios in parallel worker processes);
+* ``sweep`` — seeded experiment grids (Figure 3 replication, pricing
+  ablation, core-count scaling) sharded across worker processes with a
+  bit-identical merge (see docs/PARALLELISM.md).
 """
 
 from __future__ import annotations
@@ -303,14 +308,19 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         names = ", ".join(sorted(ALL_CHECKS))
         print(f"unknown check(s): {', '.join(unknown)} (available: {names})")
         return 2
-    report = run_fuzz(
-        seed=args.seed,
-        cases=args.cases,
-        checks=checks,
-        budget=args.budget,
-        max_failures=args.max_failures,
-        log=print,
-    )
+    try:
+        report = run_fuzz(
+            seed=args.seed,
+            cases=args.cases,
+            checks=checks,
+            budget=args.budget,
+            max_failures=args.max_failures,
+            jobs=args.jobs,
+            log=print,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     summarize(report, print)
     if not report.ok:
         names = ", ".join(sorted(ALL_CHECKS))
@@ -344,10 +354,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             scenarios=args.scenario,
             quick=args.quick,
             repeats=args.repeats,
+            jobs=args.jobs,
             log=print,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}")
+        return EXIT_ERROR
+    except ValueError as exc:
+        print(f"error: {exc}")
         return EXIT_ERROR
     render_report(report, print)
 
@@ -379,6 +393,64 @@ def cmd_bench(args: argparse.Namespace) -> int:
     save_report_file(out_path, report, existing=existing)
     print(f"wrote {out_path} (profile {report.profile!r})")
     return code
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry
+    from repro.perf import EXIT_CLEAN, EXIT_ERROR
+    from repro.perf.sweep import SWEEPS, record_sweep, run_sweep
+
+    if args.list_sweeps:
+        for name in sorted(SWEEPS):
+            print(f"{name}  {SWEEPS[name].description}")
+        return EXIT_CLEAN
+    if not args.name:
+        print(f"error: name a sweep to run (available: {', '.join(sorted(SWEEPS))}) "
+              "or pass --list")
+        return EXIT_ERROR
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1")
+        return EXIT_ERROR
+
+    registry = MetricsRegistry()
+    try:
+        run = run_sweep(args.name, jobs=args.jobs, quick=args.quick,
+                        log=print, registry=registry)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}")
+        return EXIT_ERROR
+
+    serial_elapsed = None
+    if args.compare_serial and args.jobs > 1:
+        serial = run_sweep(args.name, jobs=1, quick=args.quick, log=print)
+        serial_elapsed = serial.elapsed_s
+        if serial.rows != run.rows:
+            print("error: sharded rows diverged from the serial rows "
+                  "(determinism bug — please report)")
+            return EXIT_ERROR
+        print(f"sweep {args.name}: serial {serial_elapsed:.3f}s vs "
+              f"jobs={args.jobs} {run.elapsed_s:.3f}s "
+              f"(speedup {serial_elapsed / run.elapsed_s:.2f}x, rows identical)")
+
+    def _cell(h: str, v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:+.2f}%" if h.endswith("_pct") else f"{v:g}"
+        return str(v)
+
+    headers = list(run.rows[0]) if run.rows else []
+    rows = [tuple(_cell(h, row[h]) for h in headers) for row in run.rows]
+    print(format_table(headers, rows,
+                       title=f"sweep {args.name} ({'quick' if args.quick else 'full'})"))
+    stats = run.stats
+    print(f"{len(run.rows)} cells in {run.elapsed_s:.3f}s  mode={stats.mode} "
+          f"shards={stats.n_shards} retried={stats.retried} "
+          f"fallback={stats.serial_fallback} "
+          f"straggler={stats.straggler_max_over_median:.2f}  "
+          f"checksum={run.checksum}")
+    if args.record:
+        result = record_sweep(args.out, run, serial_elapsed_s=serial_elapsed)
+        print(f"recorded {result.name} into {args.out} (profile 'sweep')")
+    return EXIT_CLEAN
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -527,6 +599,9 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="NAME", help="restrict to one check (repeatable)")
     p.add_argument("--max-failures", type=int, default=5,
                    help="stop after this many distinct failures (default 5)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes; sharded case sweep with a "
+                        "deterministic merge (default 1 = serial)")
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("bench", help="deterministic perf suite + regression gate")
@@ -544,9 +619,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run only this scenario (repeatable)")
     p.add_argument("--no-compare", action="store_true",
                    help="record without gating against the baseline")
-    p.add_argument("--list-scenarios", action="store_true",
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes; one scenario per shard, "
+                        "ops/checksums identical to serial (default 1)")
+    p.add_argument("--list", "--list-scenarios", dest="list_scenarios",
+                   action="store_true",
                    help="print the scenario catalog and exit")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("sweep", help="parallel seeded experiment grids")
+    p.add_argument("name", nargs="?", default=None,
+                   help="registered sweep (see --list)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes; rows merge bit-identically to "
+                        "serial (default 1)")
+    p.add_argument("--quick", action="store_true",
+                   help="scaled-down per-cell workloads (same grid)")
+    p.add_argument("--compare-serial", action="store_true",
+                   help="also time a serial run, verify identical rows, "
+                        "and report the speedup")
+    p.add_argument("--record", action="store_true",
+                   help="record the run under the 'sweep' profile of --out")
+    p.add_argument("--out", default="BENCH_schedulers.json", metavar="PATH",
+                   help="bench report file for --record "
+                        "(default BENCH_schedulers.json)")
+    p.add_argument("--list", dest="list_sweeps", action="store_true",
+                   help="print the sweep catalog and exit")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("lint", help="domain-aware static analysis (RPxxx rules)")
     p.add_argument("paths", nargs="*", default=["src"],

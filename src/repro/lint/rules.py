@@ -1,4 +1,4 @@
-"""The domain rule catalog (RP000–RP006).
+"""The domain rule catalog (RP000–RP007).
 
 Each rule encodes an invariant the dynamic verification layer
 (:mod:`repro.verify`) can only catch after the fact, enforced here *at
@@ -30,6 +30,10 @@ rest* on every commit:
   ``*Schedule``) defined in ``schedulers/*.py`` must be re-exported in
   ``schedulers/__init__.py`` ``__all__``, so the package surface (and
   the differential fuzzer's scheduler sweep) cannot silently miss one.
+* **RP007** — direct ``multiprocessing`` / ``concurrent.futures``
+  imports outside ``parallel/``. All process fan-out goes through
+  :mod:`repro.parallel` so seeding, ordered merge, and fallback policy
+  stay in one audited place (docs/PARALLELISM.md).
 """
 
 from __future__ import annotations
@@ -56,6 +60,12 @@ SIMTIME_SCOPE = DETERMINISTIC_SCOPE + ("governors/",)
 
 #: Modules allowed to call ``print``.
 PRINT_ALLOWED = ("cli.py", "analysis/reporting.py")
+
+#: The one package allowed to import process-pool machinery.
+POOL_HOME = "parallel/"
+
+#: Top-level modules whose import marks hand-rolled process fan-out.
+POOL_MODULES = frozenset({"multiprocessing", "concurrent"})
 
 #: Module-level ``random`` attributes that are *not* global-state RNG use.
 RANDOM_ALLOWED = frozenset({"Random", "SystemRandom"})
@@ -341,9 +351,38 @@ class SchedulerContractRule(Rule):
         return None
 
 
+@register
+class PoolBoundaryRule(Rule):
+    code = "RP007"
+    name = "pool-boundary"
+    summary = ("multiprocessing / concurrent.futures imports belong only in "
+               "parallel/; fan out through repro.parallel.run_sharded")
+
+    def check_module(self, mod: SourceModule) -> Iterator[Finding]:
+        if _in_scope(mod, (POOL_HOME,)):
+            return
+        assert mod.tree is not None
+        for node in ast.walk(mod.tree):
+            names: list[str] = []
+            if isinstance(node, ast.Import):
+                names = [a.name for a in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                names = [node.module]
+            for name in names:
+                if name.split(".")[0] in POOL_MODULES:
+                    yield self.finding(
+                        mod, node,
+                        f"direct import of {name}; process fan-out goes through "
+                        f"repro.parallel (run_sharded) so seeding and merge "
+                        f"order stay deterministic",
+                    )
+                    break
+
+
 __all__ = [
     "DirectiveHygieneRule",
     "FloatEqualityRule",
+    "PoolBoundaryRule",
     "PrintRule",
     "SchedulerContractRule",
     "ToleranceLiteralRule",

@@ -1,0 +1,67 @@
+"""Bridge :class:`~repro.parallel.executor.PoolStats` into ``repro.obs``.
+
+The fan-out layer keeps its own lightweight telemetry (it must work
+even when observability is not imported); this module translates one
+:class:`PoolStats` into the shared
+:class:`~repro.obs.metrics.MetricsRegistry` vocabulary so ``repro
+trace`` / ``repro explain`` tooling — and anything else that consumes
+:func:`~repro.obs.metrics.scheduler_metrics` — sees the sharded
+execution alongside the scheduler's own counters. Metric names live
+under the ``parallel.`` prefix (catalog in docs/OBSERVABILITY.md):
+
+* ``parallel.shards.dispatched / retried / serial_fallback`` and
+  ``parallel.pool.failures / timeouts`` — counters;
+* ``parallel.jobs / items / shards / chunk_size`` — gauges pinning the
+  fan-out shape;
+* ``parallel.shard_wall_seconds`` — histogram of per-shard in-worker
+  wall times;
+* ``parallel.straggler.max_over_median`` — gauge (1.0 = balanced);
+* ``parallel.worker<i>.wall_seconds`` — per-worker busy time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.parallel.executor import PoolStats
+
+#: Bucket upper-bounds (seconds) for the per-shard wall-time histogram:
+#: decade steps from 10 ms to 100 s cover everything from a quick-profile
+#: bench shard to a full fig3 sweep cell.
+SHARD_WALL_BUCKETS = (0.01, 0.1, 1.0, 10.0, 100.0)
+
+
+def pool_metrics(
+    stats: "PoolStats", registry: Optional["MetricsRegistry"] = None
+) -> "MetricsRegistry":
+    """Record ``stats`` under the ``parallel.*`` names; returns the registry.
+
+    Counters are *incremented* (several sharded runs accumulate);
+    gauges and the straggler ratio reflect the latest run.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    reg = registry if registry is not None else MetricsRegistry()
+    reg.counter("parallel.shards.dispatched").inc(stats.dispatched)
+    reg.counter("parallel.shards.retried").inc(stats.retried)
+    reg.counter("parallel.shards.serial_fallback").inc(stats.serial_fallback)
+    reg.counter("parallel.pool.failures").inc(stats.pool_failures)
+    reg.counter("parallel.pool.timeouts").inc(stats.timeouts)
+    reg.gauge("parallel.jobs").set(stats.jobs)
+    reg.gauge("parallel.items").set(stats.n_items)
+    reg.gauge("parallel.shards").set(stats.n_shards)
+    reg.gauge("parallel.chunk_size").set(stats.chunk_size)
+    reg.gauge("parallel.straggler.max_over_median").set(
+        stats.straggler_max_over_median
+    )
+    hist = reg.histogram("parallel.shard_wall_seconds", SHARD_WALL_BUCKETS)
+    for wall in stats.shard_wall_s.values():
+        hist.observe(wall)
+    for label, wall in stats.worker_wall_s.items():
+        reg.gauge(f"parallel.{label}.wall_seconds").set(wall)
+    return reg
+
+
+__all__ = ["SHARD_WALL_BUCKETS", "pool_metrics"]

@@ -28,9 +28,25 @@ from repro.perf.report import (
 )
 from repro.perf.runner import DEFAULT_REPEATS, run_bench
 from repro.perf.scenarios import ALL_SCENARIOS, Scenario
+from repro.perf.sweep import (
+    SWEEP_PROFILE,
+    SWEEPS,
+    SweepRun,
+    SweepSpec,
+    record_sweep,
+    run_sweep,
+    sweep_checksum,
+)
 
 __all__ = [
     "ALL_SCENARIOS",
+    "SWEEPS",
+    "SWEEP_PROFILE",
+    "SweepRun",
+    "SweepSpec",
+    "record_sweep",
+    "run_sweep",
+    "sweep_checksum",
     "BenchReport",
     "Comparison",
     "DEFAULT_REPEATS",

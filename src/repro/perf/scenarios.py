@@ -18,6 +18,7 @@ of the differential fuzzer's ``wbg_kernel`` check.
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import random
 import time
@@ -48,17 +49,28 @@ def _timed(fn: Callable[[], T], repeats: int) -> tuple[float, T]:
 
     One untimed warmup run first, so lazy imports and cache fills are
     paid before the clock starts — the kernels are measured in steady
-    state, which is what the regression gate should compare.
+    state, which is what the regression gate should compare. The cyclic
+    garbage collector is paused around the timed region (after one
+    explicit collection): a mid-run GC pass is the single biggest source
+    of best-of-N jitter at quick-profile workload sizes, and the 25%
+    gate should spend its slack on machine noise, not allocator luck.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     fn()
-    best = float("inf")
-    result: T
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        best = float("inf")
+        result: T
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        if was_enabled:
+            gc.enable()
     return best, result
 
 

@@ -11,6 +11,17 @@ trying the structurally smaller variants the check proposes and keeping
 any that still fail — and the minimal repro is printed as a
 ready-to-paste pytest function that calls
 :func:`repro.verify.differential.replay`.
+
+With ``jobs > 1`` the case indices shard across worker processes via
+:mod:`repro.parallel`. Because every case is already a pure function of
+its ``seed_key``, the sharded sweep finds exactly the failures the
+serial sweep finds; the merge orders them by (case index, check order)
+— the serial iteration order — so the *reported* counterexample is the
+lowest-index one, not the first worker to finish, and shrinking happens
+in the parent on that deterministic selection. The wall-clock
+``budget`` option is serial-only (a time cutoff makes the visited case
+set scheduling-dependent, which is exactly what the sharded path
+promises never to be) — combining it with ``jobs > 1`` raises.
 """
 
 from __future__ import annotations
@@ -109,12 +120,71 @@ def render_repro(failure: FuzzFailure) -> str:
     )
 
 
+def _case_worker(payload: tuple, derived_seed: int) -> list:
+    """Run every check against one case index (one work item).
+
+    Returns ``(check_name, seed_key, case, failures)`` tuples in check
+    order. The executor's ``derived_seed`` is deliberately unused: the
+    fuzzer's reproducibility contract is the ``seed_key`` string, which
+    must stay identical to the serial path's.
+    """
+    seed, names, i = payload
+    out = []
+    for name in names:
+        seed_key = f"{seed}:{name}:{i}"
+        case = ALL_CHECKS[name].generate(random.Random(seed_key))
+        failures = run_case(name, case)
+        if failures:
+            out.append((name, seed_key, case, failures))
+    return out
+
+
+def _run_fuzz_sharded(
+    report: FuzzReport,
+    names: Sequence[str],
+    cases: int,
+    jobs: int,
+    max_failures: int,
+    log: Callable[[str], None],
+) -> None:
+    """The ``jobs > 1`` sweep: shard case indices, merge, shrink in order."""
+    from repro.parallel import ParallelConfig, run_sharded
+
+    run = run_sharded(
+        _case_worker,
+        [(report.seed, tuple(names), i) for i in range(cases)],
+        root_seed=report.seed,
+        config=ParallelConfig(jobs=jobs),
+        log=log,
+    )
+    report.cases_run = cases * len(names)
+    # run.results is ordered by case index and each worker emits in
+    # check order, so flattening reproduces the serial (i, check)
+    # iteration order — the lowest case index wins, not the fastest
+    # worker. Shrinking is deterministic per case, so doing it here in
+    # the parent yields byte-identical minimal repros to a serial run.
+    flat = [hit for per_case in run.results for hit in per_case]
+    for name, seed_key, case, failures in flat[:max_failures]:
+        log(f"FAIL {seed_key}: {failures[0]}")
+        fail = FuzzFailure(check=name, seed_key=seed_key, case=case,
+                           failures=failures)
+        log(f"  shrinking (budget {_SHRINK_BUDGET} evals)...")
+        shrunk, shrunk_failures = shrink(name, case)
+        if _case_size(shrunk) < _case_size(case):
+            fail.shrunk_case, fail.shrunk_failures = shrunk, shrunk_failures
+        report.failures.append(fail)
+    if len(flat) > max_failures:
+        log(f"stopping at {max_failures} failures "
+            f"({len(flat) - max_failures} more found in the sharded sweep)")
+
+
 def run_fuzz(
     seed: int = 0,
     cases: int = 200,
     checks: Optional[Sequence[str]] = None,
     budget: Optional[float] = None,
     max_failures: int = 5,
+    jobs: int = 1,
     log: Callable[[str], None] = lambda s: None,
 ) -> FuzzReport:
     """Run the differential fuzzer.
@@ -130,10 +200,15 @@ def run_fuzz(
         Subset of check names (default: all).
     budget:
         Optional wall-clock limit in seconds; the run stops cleanly
-        when exceeded.
+        when exceeded. Serial-only: with ``jobs > 1`` a time cutoff
+        would make the visited case set depend on scheduling, so the
+        combination raises ``ValueError``.
     max_failures:
         Stop after this many distinct failures (shrinking each is the
         expensive part).
+    jobs:
+        Worker processes; case indices shard via :mod:`repro.parallel`
+        and the reported failures are identical to ``jobs=1``.
     log:
         Progress sink (the CLI passes ``print``).
     """
@@ -141,8 +216,18 @@ def run_fuzz(
     for name in names:
         if name not in ALL_CHECKS:
             raise ValueError(f"unknown check {name!r}; have {sorted(ALL_CHECKS)}")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs > 1 and budget is not None:
+        raise ValueError("--budget is a wall-clock cutoff and only combines "
+                         "with --jobs 1; use --cases to bound a sharded run")
     report = FuzzReport(seed=seed)
     start = time.monotonic()
+
+    if jobs > 1:
+        _run_fuzz_sharded(report, names, cases, jobs, max_failures, log)
+        report.elapsed = time.monotonic() - start
+        return report
 
     done = False
     for i in range(cases):

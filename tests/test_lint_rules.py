@@ -184,6 +184,34 @@ class TestRP006SchedulerContract:
         assert r.ok
 
 
+class TestRP007PoolBoundary:
+    def test_flags_multiprocessing_import(self):
+        r = lint({"perf/x.py": "import multiprocessing\n"})
+        assert codes(r) == ["RP007"]
+        assert "repro.parallel" in r.findings[0].message
+
+    def test_flags_concurrent_futures_import(self):
+        r = lint({"verify/x.py": "from concurrent.futures import ProcessPoolExecutor\n"})
+        assert codes(r) == ["RP007"]
+
+    def test_flags_submodule_import(self):
+        r = lint({"analysis/x.py": "import multiprocessing.pool\n"})
+        assert codes(r) == ["RP007"]
+
+    def test_parallel_package_is_exempt(self):
+        r = lint({
+            "parallel/executor.py": (
+                "import multiprocessing\n"
+                "from concurrent.futures import ProcessPoolExecutor\n"
+            ),
+        })
+        assert r.ok
+
+    def test_lookalike_names_pass(self):
+        r = lint({"core/x.py": "import concurrency_utils\nfrom multi import processing\n"})
+        assert r.ok
+
+
 class TestSuppressions:
     def test_justified_suppression_silences_finding(self):
         r = lint({

@@ -220,3 +220,19 @@ def test_cli_bench_list_scenarios(capsys) -> None:
     out = capsys.readouterr().out
     for name in ALL_SCENARIOS:
         assert name in out
+        assert ALL_SCENARIOS[name].description in out
+
+
+def test_cli_bench_list_short_alias(capsys) -> None:
+    """``--list`` and ``--list-scenarios`` are the same flag."""
+    assert main(["bench", "--list"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for name in ALL_SCENARIOS:
+        assert name in out
+
+
+def test_cli_bench_rejects_bad_jobs(tmp_path) -> None:
+    out = tmp_path / "BENCH.json"
+    code = main(["bench", "--quick", "--repeats", "1", "--jobs", "0",
+                 "--scenario", "dominating_cache", "--out", str(out)])
+    assert code == EXIT_ERROR

@@ -190,8 +190,9 @@ class TestBenchBaseline:
 
         profiles = load_report_file(ROOT / "BENCH_schedulers.json")
         assert {"full", "quick"} <= set(profiles)
-        for report in profiles.values():
-            assert len(report.scenarios) >= 3
+        for profile, report in profiles.items():
+            if profile in ("full", "quick"):
+                assert len(report.scenarios) >= 3
             assert report.repeats >= 1
             for name, scenario in report.scenarios.items():
                 assert scenario.name == name
@@ -208,8 +209,24 @@ class TestBenchBaseline:
         from repro.perf import ALL_SCENARIOS, load_report_file
 
         profiles = load_report_file(ROOT / "BENCH_schedulers.json")
-        for report in profiles.values():
-            assert set(report.scenarios) == set(ALL_SCENARIOS)
+        for profile in ("full", "quick"):
+            assert set(profiles[profile].scenarios) == set(ALL_SCENARIOS)
+
+    def test_recorded_sweep_profile_names_registered_sweeps(self):
+        # the sweep profile (docs/PARALLELISM.md) holds `repro sweep
+        # --record` grids; every entry must map to a registered sweep
+        from repro.perf import SWEEP_PROFILE, SWEEPS, load_report_file
+
+        profiles = load_report_file(ROOT / "BENCH_schedulers.json")
+        assert SWEEP_PROFILE in profiles
+        scenarios = profiles[SWEEP_PROFILE].scenarios
+        assert "sweep_fig3_replication" in scenarios
+        for name, scenario in scenarios.items():
+            assert name.startswith("sweep_")
+            assert scenario.params["sweep"] in SWEEPS
+            # the recorded fan-out is auditable: both wall times present
+            # when --compare-serial measured them
+            assert scenario.ops["cells"] == scenario.params["cells"]
 
     def test_committed_wbg_speedup_at_least_2x(self):
         # the acceptance bar for the vectorized kernel: the committed
